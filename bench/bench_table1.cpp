@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Experiment E1 — reproduction of the paper's Table 1 (benchmarks with
+ * realistic atomicity specifications from DoubleChecker).
+ *
+ * Expected shape: on the star-modelled rows (avrora, lusearch, moldyn,
+ * montecarlo, raytracer, sunflow, elevator) Velodrome's transaction graph
+ * keeps growing and its per-edge cycle checks blow up — timing out under
+ * the budget — while AeroDrome finishes in linear time. On the
+ * GC-friendly rows (luindex, pmd, sor, tsp, xalan) Velodrome's graph
+ * stays at a handful of nodes and the two are comparable, with Velodrome
+ * often slightly ahead (paper speed-ups 0.72-0.86).
+ */
+
+#include "table_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    auto args = aero::bench::TableArgs::parse(argc, argv);
+    aero::bench::run_table(
+        "Table 1: realistic atomicity specifications (DoubleChecker specs)",
+        aero::gen::table1_models(), args);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Experiment E2 — reproduction of the paper's Table 2 (naive atomicity
+ * specifications: every thread body is one transaction).
+ *
+ * Expected shape: violations close within the first few scheduling chunks
+ * of the trace, Velodrome's graph never grows beyond a few mega-
+ * transaction nodes, and the two checkers are comparable (paper speed-ups
+ * 0.75-3.98) — the regime where vector-clock overhead is not paid back.
+ */
+
+#include "table_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    auto args = aero::bench::TableArgs::parse(argc, argv);
+    aero::bench::run_table(
+        "Table 2: naive atomicity specifications (all methods atomic)",
+        aero::gen::table2_models(), args);
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Experiment E7 — microbenchmarks backing Theorem 4's cost model: every
+ * non-end event costs O(|Thr|) (one vector-clock comparison + join), and
+ * end events cost O(|Thr| + L + V') where V' is the update-set size.
+ *
+ * Google-benchmark binary; run with --benchmark_filter=... as usual.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aerodrome/aerodrome_opt.hpp"
+#include "analysis/runner.hpp"
+#include "gen/patterns.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace {
+
+using namespace aero;
+
+VectorClock
+make_clock(size_t dim, uint32_t salt)
+{
+    VectorClock v(dim);
+    for (size_t i = 0; i < dim; ++i)
+        v.set(i, static_cast<ClockValue>((i * 2654435761u + salt) % 97));
+    return v;
+}
+
+void
+BM_VcJoin(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    VectorClock a = make_clock(dim, 1);
+    VectorClock b = make_clock(dim, 2);
+    for (auto _ : state) {
+        a.join(b);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VcJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_VcLeq(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    VectorClock a = make_clock(dim, 1);
+    VectorClock b = make_clock(dim, 2);
+    bool r = false;
+    for (auto _ : state) {
+        r ^= a.leq(b);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VcLeq)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_VcJoinExcept(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    VectorClock a = make_clock(dim, 1);
+    VectorClock b = make_clock(dim, 2);
+    for (auto _ : state) {
+        a.join_except(b, dim / 2);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VcJoinExcept)->Arg(4)->Arg(64);
+
+/** Per-event cost of the full engine as thread count grows (Theorem 4's
+ *  |Thr| factor on non-end events). */
+void
+BM_AeroDromePerEventThreads(benchmark::State& state)
+{
+    uint32_t threads = static_cast<uint32_t>(state.range(0));
+    Trace t = gen::make_independent(threads, 2000, 8);
+    for (auto _ : state) {
+        AeroDromeOpt checker(t.num_threads(), t.num_vars(), t.num_locks());
+        RunResult r = run_checker(checker, t);
+        benchmark::DoNotOptimize(r.violation);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_AeroDromePerEventThreads)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/** End-event cost as the per-transaction variable footprint grows (the
+ *  update-set V' factor). */
+void
+BM_AeroDromeEndEventFootprint(benchmark::State& state)
+{
+    uint32_t accesses = static_cast<uint32_t>(state.range(0));
+    // Few transactions, each touching `accesses` distinct variables; the
+    // trace is sized so total events stay constant across args.
+    uint32_t txns = 32768 / accesses;
+    Trace t = gen::make_independent(4, txns, accesses);
+    for (auto _ : state) {
+        AeroDromeOpt checker(t.num_threads(), t.num_vars(), t.num_locks());
+        RunResult r = run_checker(checker, t);
+        benchmark::DoNotOptimize(r.violation);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_AeroDromeEndEventFootprint)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

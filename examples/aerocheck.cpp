@@ -1,0 +1,258 @@
+/**
+ * @file
+ * aerocheck — command-line atomicity checker over trace logs.
+ *
+ * The "production" front end: pick an engine, stream a trace file in
+ * constant memory, get a violation report with evidence and engine
+ * statistics. Complements trace_pipeline (which demonstrates the
+ * generate-then-analyze workflow) by exposing every engine and knob.
+ *
+ * Usage:
+ *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
+ *             [--validate] [--stats] [--witness]
+ *
+ *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
+ *             aerodrome-basic | velodrome | velodrome-pk
+ *   --validate: run the well-formedness validator first (loads the
+ *               trace into memory)
+ *   --stats: print engine-specific statistics after the run
+ *   --witness: on a violation, reconstruct and print a witness cycle
+ *              (one offending SCC of the transaction graph over the
+ *              prefix up to the violating event; loads the trace)
+ *
+ * Exit code: 0 = serializable, 1 = violation, 2 = usage/input error,
+ * 3 = budget exceeded.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "aerodrome/aerodrome_basic.hpp"
+#include "aerodrome/aerodrome_opt.hpp"
+#include "aerodrome/aerodrome_readopt.hpp"
+#include "aerodrome/aerodrome_tuned.hpp"
+#include "analysis/runner.hpp"
+#include "oracle/serializability_oracle.hpp"
+#include "support/assert.hpp"
+#include "support/str.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/stream.hpp"
+#include "trace/text_io.hpp"
+#include "trace/validator.hpp"
+#include "velodrome/velodrome.hpp"
+#include "velodrome/velodrome_pk.hpp"
+
+namespace {
+
+using namespace aero;
+
+struct Args {
+    std::string path;
+    std::string engine = "aerodrome";
+    double budget = 0;
+    bool validate_first = false;
+    bool stats = false;
+    bool witness = false;
+};
+
+/** Reconstruct and print one witness cycle over the violating prefix. */
+void
+print_witness(const Trace& trace, size_t violation_index)
+{
+    Trace prefix;
+    for (size_t i = 0; i <= violation_index && i < trace.size(); ++i)
+        prefix.push(trace[i]);
+    OracleOptions oopts;
+    oopts.collect_txn_info = true;
+    OracleResult oracle = check_serializability(prefix, oopts);
+    if (oracle.serializable) {
+        // Possible when the engine reports at an end event whose witness
+        // needs the full <=E machinery; fall back to the full trace.
+        std::printf("  (no cycle in the strict prefix; witness spans "
+                    "later events)\n");
+        return;
+    }
+    std::printf("  witness cycle (%zu transactions):\n",
+                oracle.witness_scc.size());
+    for (uint32_t node : oracle.witness_scc) {
+        if (node >= oracle.txn_info.size())
+            continue;
+        const TxnInfo& info = oracle.txn_info[node];
+        std::printf("    %s txn of thread %s: events [%zu..%zu]%s\n",
+                    info.unary ? "unary" : "block",
+                    trace.threads().name_of(info.thread, "t").c_str(),
+                    info.first_event, info.last_event,
+                    info.completed ? "" : " (still open)");
+    }
+}
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
+                 "[--validate] [--stats]\n"
+                 "engines: aerodrome aerodrome-tuned aerodrome-readopt "
+                 "aerodrome-basic velodrome velodrome-pk\n",
+                 argv0);
+    return 2;
+}
+
+std::unique_ptr<AtomicityChecker>
+make_engine(const std::string& name)
+{
+    // Streamed input: dimensions are unknown up front; every engine
+    // grows its state on demand.
+    if (name == "aerodrome")
+        return std::make_unique<AeroDromeOpt>(0, 0, 0);
+    if (name == "aerodrome-tuned")
+        return std::make_unique<AeroDromeTuned>(0, 0, 0);
+    if (name == "aerodrome-readopt")
+        return std::make_unique<AeroDromeReadOpt>(0, 0, 0);
+    if (name == "aerodrome-basic")
+        return std::make_unique<AeroDromeBasic>(0, 0, 0);
+    if (name == "velodrome")
+        return std::make_unique<Velodrome>(0, 0, 0);
+    if (name == "velodrome-pk")
+        return std::make_unique<VelodromePK>(0, 0, 0);
+    return nullptr;
+}
+
+void
+print_stats(const AtomicityChecker& checker)
+{
+    if (auto* a = dynamic_cast<const AeroDromeOpt*>(&checker)) {
+        std::printf("  joins: %s, comparisons: %s\n",
+                    with_commas(a->stats().joins).c_str(),
+                    with_commas(a->stats().comparisons).c_str());
+        std::printf("  lazy reads/writes: %s / %s\n",
+                    with_commas(a->opt_stats().lazy_reads).c_str(),
+                    with_commas(a->opt_stats().lazy_writes).c_str());
+        std::printf("  ends propagated/collected: %s / %s\n",
+                    with_commas(a->opt_stats().propagated_ends).c_str(),
+                    with_commas(a->opt_stats().gc_skipped_ends).c_str());
+    } else if (auto* t = dynamic_cast<const AeroDromeTuned*>(&checker)) {
+        std::printf("  joins: %s, comparisons: %s\n",
+                    with_commas(t->stats().joins).c_str(),
+                    with_commas(t->stats().comparisons).c_str());
+        std::printf("  same-epoch reads/writes skipped: %s / %s\n",
+                    with_commas(t->tuned_stats().same_epoch_reads).c_str(),
+                    with_commas(t->tuned_stats().same_epoch_writes)
+                        .c_str());
+    } else if (auto* b = dynamic_cast<const AeroDromeBasic*>(&checker)) {
+        std::printf("  joins: %s, comparisons: %s\n",
+                    with_commas(b->stats().joins).c_str(),
+                    with_commas(b->stats().comparisons).c_str());
+    } else if (auto* r = dynamic_cast<const AeroDromeReadOpt*>(&checker)) {
+        std::printf("  joins: %s, comparisons: %s\n",
+                    with_commas(r->stats().joins).c_str(),
+                    with_commas(r->stats().comparisons).c_str());
+    } else if (auto* v = dynamic_cast<const Velodrome*>(&checker)) {
+        std::printf("  graph: peak %s nodes, %s edges, %s dfs visits, "
+                    "%s collected\n",
+                    with_commas(v->stats().max_live_nodes).c_str(),
+                    with_commas(v->stats().total_edges).c_str(),
+                    with_commas(v->stats().dfs_visits).c_str(),
+                    with_commas(v->stats().gc_deleted).c_str());
+    } else if (auto* p = dynamic_cast<const VelodromePK*>(&checker)) {
+        std::printf("  graph: peak %s nodes, %s edges (%s fast / %s "
+                    "reordered)\n",
+                    with_commas(p->stats().max_live_nodes).c_str(),
+                    with_commas(p->stats().total_edges).c_str(),
+                    with_commas(p->fast_edges()).c_str(),
+                    with_commas(p->reordered_edges()).c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--engine" && i + 1 < argc) {
+            args.engine = argv[++i];
+        } else if (a == "--budget" && i + 1 < argc) {
+            args.budget = std::stod(argv[++i]);
+        } else if (a == "--validate") {
+            args.validate_first = true;
+        } else if (a == "--stats") {
+            args.stats = true;
+        } else if (a == "--witness") {
+            args.witness = true;
+        } else if (a == "--help") {
+            return usage(argv[0]);
+        } else if (args.path.empty()) {
+            args.path = a;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (args.path.empty())
+        return usage(argv[0]);
+
+    auto checker = make_engine(args.engine);
+    if (!checker) {
+        std::fprintf(stderr, "unknown engine '%s'\n", args.engine.c_str());
+        return usage(argv[0]);
+    }
+
+    try {
+        if (args.validate_first) {
+            bool binary = args.path.size() > 4 &&
+                          args.path.compare(args.path.size() - 4, 4,
+                                            ".bin") == 0;
+            Trace t = binary ? read_binary_file(args.path)
+                             : read_text_file(args.path);
+            auto v = validate(t);
+            if (!v.ok) {
+                std::fprintf(stderr,
+                             "trace is ill-formed at event %zu: %s\n",
+                             v.event_index, v.message.c_str());
+                return 2;
+            }
+            std::printf("trace is well-formed (%s events)\n",
+                        with_commas(t.size()).c_str());
+        }
+
+        std::unique_ptr<std::istream> storage;
+        auto source = open_event_source(args.path, storage);
+
+        RunBudget budget;
+        budget.max_seconds = args.budget;
+        RunResult r = run_checker_stream(*checker, *source, budget);
+
+        std::printf("%s: %s after %s events in %s\n",
+                    std::string(checker->name()).c_str(),
+                    r.timed_out ? "BUDGET EXCEEDED"
+                                : (r.violation ? "VIOLATION" : "serializable"),
+                    with_commas(r.events_processed).c_str(),
+                    format_duration(r.seconds).c_str());
+        if (r.violation) {
+            std::printf("  at event index %zu, thread id %u: %s\n",
+                        r.details->event_index, r.details->thread,
+                        r.details->reason.c_str());
+            if (args.witness) {
+                bool binary =
+                    args.path.size() > 4 &&
+                    args.path.compare(args.path.size() - 4, 4, ".bin") ==
+                        0;
+                Trace t = binary ? read_binary_file(args.path)
+                                 : read_text_file(args.path);
+                print_witness(t, r.details->event_index);
+            }
+        }
+        if (args.stats)
+            print_stats(*checker);
+        if (r.timed_out)
+            return 3;
+        return r.violation ? 1 : 0;
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

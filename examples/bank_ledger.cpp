@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Bank-ledger example: the classic check-then-act atomicity bug, caught
+ * end to end through the program simulator.
+ *
+ * Tellers transfer money between accounts. Each transfer is declared
+ * atomic (a transaction), and comes in two flavours:
+ *
+ *  - buggy:  read both balances, then write both balances, with the lock
+ *    taken separately around each access (the infamous "synchronized
+ *    getters don't make the sequence atomic" pattern);
+ *  - fixed:  one lock held across the whole transfer (strict 2PL).
+ *
+ * The example schedules both programs under many seeds and reports how
+ * often AeroDrome flags the buggy variant (the fixed one must never be
+ * flagged). This mirrors how a dynamic atomicity checker is actually
+ * used: instrument, run, and let the analysis condemn the interleavings
+ * that break the spec.
+ *
+ *   $ ./bank_ledger [schedules]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "aerodrome/aerodrome_opt.hpp"
+#include "analysis/runner.hpp"
+#include "sim/program.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace aero;
+
+constexpr uint32_t kAccounts = 4;
+constexpr uint32_t kTellers = 3;
+constexpr uint32_t kTransfersPerTeller = 5;
+constexpr uint32_t kGlobalLock = 0;
+
+/** One teller thread repeatedly transferring between two accounts. */
+void
+add_teller(sim::Program& prog, uint32_t teller, bool fixed)
+{
+    sim::ThreadProgram& th = prog.thread(teller);
+    for (uint32_t i = 0; i < kTransfersPerTeller; ++i) {
+        uint32_t from = (teller + i) % kAccounts;
+        uint32_t to = (teller + i + 1) % kAccounts;
+        th.begin(); // the transfer is specified to be atomic
+        if (fixed) {
+            th.acquire(kGlobalLock);
+        }
+        // Check phase: read both balances.
+        if (!fixed)
+            th.acquire(kGlobalLock);
+        th.read(from);
+        th.read(to);
+        if (!fixed)
+            th.release(kGlobalLock);
+        th.compute(); // compute new balances (no shared access)
+        // Act phase: write both balances.
+        if (!fixed)
+            th.acquire(kGlobalLock);
+        th.write(from);
+        th.write(to);
+        if (!fixed)
+            th.release(kGlobalLock);
+        if (fixed) {
+            th.release(kGlobalLock);
+        }
+        th.end();
+    }
+}
+
+/** Run one scheduled execution through AeroDrome. */
+bool
+violates(const sim::Program& prog, uint64_t seed)
+{
+    sim::SchedulerOptions opts;
+    opts.policy = sim::Policy::kRandom;
+    opts.seed = seed;
+    sim::SimResult sim = sim::run_program(prog, opts);
+    if (sim.deadlocked) {
+        std::printf("unexpected deadlock at seed %llu\n",
+                    static_cast<unsigned long long>(seed));
+        std::exit(2);
+    }
+    AeroDromeOpt checker(sim.trace.num_threads(), sim.trace.num_vars(),
+                         sim.trace.num_locks());
+    return run_checker(checker, sim.trace).violation;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    uint32_t schedules = argc > 1
+                             ? static_cast<uint32_t>(std::atoi(argv[1]))
+                             : 200;
+
+    sim::Program buggy, fixed;
+    for (uint32_t t = 0; t < kTellers; ++t) {
+        add_teller(buggy, t, /*fixed=*/false);
+        add_teller(fixed, t, /*fixed=*/true);
+    }
+
+    uint32_t buggy_flagged = 0, fixed_flagged = 0;
+    for (uint64_t seed = 1; seed <= schedules; ++seed) {
+        buggy_flagged += violates(buggy, seed);
+        fixed_flagged += violates(fixed, seed);
+    }
+
+    std::printf("bank ledger: %u tellers x %u transfers, %u schedules\n",
+                kTellers, kTransfersPerTeller, schedules);
+    std::printf("  buggy transfer (lock per access): %u/%u schedules "
+                "flagged non-atomic\n",
+                buggy_flagged, schedules);
+    std::printf("  fixed transfer (lock spans txn) : %u/%u schedules "
+                "flagged non-atomic\n",
+                fixed_flagged, schedules);
+
+    if (fixed_flagged != 0) {
+        std::printf("ERROR: the fixed variant must never be flagged\n");
+        return 1;
+    }
+    if (buggy_flagged == 0) {
+        std::printf("NOTE: no schedule exposed the bug; try more "
+                    "schedules\n");
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Schedule exploration: atomicity bugs are interleaving-dependent, so a
+ * single run proves little. This example takes one racy work-queue
+ * program and sweeps scheduling policies and seeds, reporting which
+ * fraction of schedules each policy condemns — the kind of exploration
+ * CTrigger-style tools automate (Related Work, Section 6).
+ *
+ * The program: worker threads pop "jobs" from a shared counter with a
+ * lock-protected read, then mark the job done with a *separately* locked
+ * write — atomic blocks that are not actually atomic. Whether a cycle
+ * materializes depends on the interleaving, so detection rates differ
+ * between fairness-heavy (round-robin), uniform-random, and sticky
+ * (coarse-quantum) schedulers.
+ *
+ *   $ ./schedule_explorer [schedules-per-policy]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "aerodrome/aerodrome_opt.hpp"
+#include "analysis/runner.hpp"
+#include "sim/program.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace aero;
+
+constexpr uint32_t kWorkers = 4;
+constexpr uint32_t kJobsPerWorker = 6;
+constexpr uint32_t kQueueHead = 0; // shared counter variable
+constexpr uint32_t kLock = 0;
+
+sim::Program
+make_work_queue()
+{
+    sim::Program prog;
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+        sim::ThreadProgram& th = prog.thread(w);
+        for (uint32_t j = 0; j < kJobsPerWorker; ++j) {
+            uint32_t done_flag = 1 + w * kJobsPerWorker + j;
+            th.begin();
+            // pop: read the head under the lock ...
+            th.acquire(kLock);
+            th.read(kQueueHead);
+            th.release(kLock);
+            th.compute();
+            // ... then update it under a *second* critical section: the
+            // transaction is not atomic even though every access is
+            // locked.
+            th.acquire(kLock);
+            th.write(kQueueHead);
+            th.release(kLock);
+            th.write(done_flag); // private completion flag
+            th.end();
+        }
+    }
+    return prog;
+}
+
+double
+detection_rate(const sim::Program& prog, sim::Policy policy,
+               uint32_t schedules)
+{
+    uint32_t flagged = 0;
+    for (uint64_t seed = 1; seed <= schedules; ++seed) {
+        sim::SchedulerOptions opts;
+        opts.policy = policy;
+        opts.seed = seed;
+        opts.quantum = 3;
+        opts.stickiness = 0.9;
+        sim::SimResult sim = sim::run_program(prog, opts);
+        if (sim.deadlocked)
+            continue;
+        AeroDromeOpt checker(sim.trace.num_threads(),
+                             sim.trace.num_vars(),
+                             sim.trace.num_locks());
+        flagged += run_checker(checker, sim.trace).violation;
+    }
+    return 100.0 * flagged / schedules;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    uint32_t schedules = argc > 1
+                             ? static_cast<uint32_t>(std::atoi(argv[1]))
+                             : 300;
+    sim::Program prog = make_work_queue();
+
+    std::printf("work queue: %u workers x %u jobs; %u schedules per "
+                "policy\n\n",
+                kWorkers, kJobsPerWorker, schedules);
+    struct {
+        const char* name;
+        sim::Policy policy;
+    } policies[] = {
+        {"round-robin (quantum 3)", sim::Policy::kRoundRobin},
+        {"uniform random", sim::Policy::kRandom},
+        {"sticky (p=0.9)", sim::Policy::kSticky},
+    };
+    for (const auto& p : policies) {
+        std::printf("  %-24s -> %5.1f%% of schedules flagged "
+                    "non-atomic\n",
+                    p.name, detection_rate(prog, p.policy, schedules));
+    }
+    std::printf("\nThe spec (each pop atomic) is broken by design; how "
+                "often a checker can\nprove it depends on the schedule — "
+                "sticky schedules context-switch less\nand hide the bug "
+                "more often.\n");
+    return 0;
+}

@@ -1,0 +1,195 @@
+#include "aerodrome/aerodrome_basic.hpp"
+
+namespace aero {
+
+AeroDromeBasic::AeroDromeBasic(uint32_t num_threads, uint32_t num_vars,
+                               uint32_t num_locks)
+    : txns_(num_threads)
+{
+    c_.resize(num_threads);
+    cb_.resize(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t)
+        c_[t].set(t, 1); // C_t := bot[1/t]
+    l_.resize(num_locks);
+    w_.resize(num_vars);
+    r_.resize(num_vars);
+    last_rel_thr_.assign(num_locks, kNoThread);
+    last_w_thr_.assign(num_vars, kNoThread);
+}
+
+void
+AeroDromeBasic::ensure_thread(ThreadId t)
+{
+    if (t >= c_.size()) {
+        size_t old = c_.size();
+        c_.resize(t + 1);
+        cb_.resize(t + 1);
+        for (size_t u = old; u < c_.size(); ++u)
+            c_[u].set(u, 1);
+        txns_.ensure(t + 1);
+    }
+}
+
+void
+AeroDromeBasic::ensure_var(VarId x)
+{
+    if (x >= w_.size()) {
+        w_.resize(x + 1);
+        r_.resize(x + 1);
+        last_w_thr_.resize(x + 1, kNoThread);
+    }
+}
+
+void
+AeroDromeBasic::ensure_lock(LockId l)
+{
+    if (l >= l_.size()) {
+        l_.resize(l + 1);
+        last_rel_thr_.resize(l + 1, kNoThread);
+    }
+}
+
+bool
+AeroDromeBasic::check_and_get(const VectorClock& clk, ThreadId t,
+                              size_t index, const char* reason)
+{
+    ++stats_.comparisons;
+    if (txns_.active(t) && cb_[t].leq(clk))
+        return report(index, t, reason);
+    ++stats_.joins;
+    c_[t].join(clk);
+    return false;
+}
+
+bool
+AeroDromeBasic::handle_end(ThreadId t, size_t index)
+{
+    // Propagate the completed transaction's final timestamp C_t into every
+    // clock that is ordered after its begin event (Algorithm 1, lines
+    // 38-46): this is what makes the timestamps prefix-relative and lets
+    // later events observe paths through this (now completed) transaction.
+    const VectorClock& ct = c_[t];
+    const VectorClock& cbt = cb_[t];
+
+    for (ThreadId u = 0; u < c_.size(); ++u) {
+        if (u == t)
+            continue;
+        ++stats_.comparisons;
+        if (cbt.leq(c_[u])) {
+            if (check_and_get(ct, u, index, "active peer ordered into "
+                                            "completed transaction"))
+                return true;
+        }
+    }
+    for (auto& ll : l_) {
+        ++stats_.comparisons;
+        if (cbt.leq(ll)) {
+            ++stats_.joins;
+            ll.join(ct);
+        }
+    }
+    for (VarId x = 0; x < w_.size(); ++x) {
+        ++stats_.comparisons;
+        if (cbt.leq(w_[x])) {
+            ++stats_.joins;
+            w_[x].join(ct);
+        }
+        for (auto& rux : r_[x]) {
+            ++stats_.comparisons;
+            if (cbt.leq(rux)) {
+                ++stats_.joins;
+                rux.join(ct);
+            }
+        }
+    }
+    return false;
+}
+
+bool
+AeroDromeBasic::process(const Event& e, size_t index)
+{
+    const ThreadId t = e.tid;
+    ensure_thread(t);
+
+    switch (e.op) {
+      case Op::kBegin:
+        if (txns_.on_begin(t)) {
+            c_[t].tick(t);
+            cb_[t] = c_[t];
+        }
+        return false;
+
+      case Op::kEnd:
+        if (txns_.on_end(t))
+            return handle_end(t, index);
+        return false;
+
+      case Op::kAcquire: {
+        ensure_lock(e.target);
+        if (last_rel_thr_[e.target] != t) {
+            return check_and_get(l_[e.target], t, index,
+                                 "acquire saw conflicting release");
+        }
+        return false;
+      }
+
+      case Op::kRelease:
+        ensure_lock(e.target);
+        l_[e.target] = c_[t];
+        last_rel_thr_[e.target] = t;
+        return false;
+
+      case Op::kFork: {
+        ensure_thread(e.target);
+        ++stats_.joins;
+        c_[e.target].join(c_[t]);
+        return false;
+      }
+
+      case Op::kJoin: {
+        ensure_thread(e.target);
+        return check_and_get(c_[e.target], t, index,
+                             "join saw child's events");
+      }
+
+      case Op::kRead: {
+        ensure_var(e.target);
+        if (last_w_thr_[e.target] != t) {
+            if (check_and_get(w_[e.target], t, index,
+                              "read saw conflicting write")) {
+                return true;
+            }
+        }
+        auto& rx = r_[e.target];
+        if (rx.size() < c_.size())
+            rx.resize(c_.size());
+        rx[t] = c_[t];
+        return false;
+      }
+
+      case Op::kWrite: {
+        ensure_var(e.target);
+        if (last_w_thr_[e.target] != t) {
+            if (check_and_get(w_[e.target], t, index,
+                              "write saw conflicting write")) {
+                return true;
+            }
+        }
+        auto& rx = r_[e.target];
+        for (ThreadId u = 0; u < rx.size(); ++u) {
+            if (u == t)
+                continue;
+            if (check_and_get(rx[u], t, index,
+                              "write saw conflicting read")) {
+                return true;
+            }
+        }
+        w_[e.target] = c_[t];
+        last_w_thr_[e.target] = t;
+        return false;
+      }
+    }
+    return false;
+}
+
+} // namespace aero

@@ -1,0 +1,152 @@
+#pragma once
+
+/**
+ * @file
+ * AeroDrome, fully optimized — the paper's Algorithm 3 (Appendix C.2).
+ *
+ * Three optimizations over Algorithm 2:
+ *
+ * 1. Lazy clock updates ("Stale" sets). A variable repeatedly read (or
+ *    written) by a thread inside one transaction does not update R_x/hR_x
+ *    (resp. W_x) at every access. Instead the reader is recorded in the
+ *    per-variable set staleReaders_x (resp. the flag staleWrite_x is set),
+ *    and the flush happens at the next write to x or at transaction end.
+ *    While a write is stale, conflict checks use the *live* clock of the
+ *    writing thread: within one transaction that clock only adds orderings
+ *    that hold at transaction granularity anyway, so verdicts are
+ *    unaffected. Events *outside* transactions (unary transactions) are
+ *    handled eagerly — their "transaction" completes immediately, so the
+ *    live-clock proxy would be unsound for them.
+ *
+ * 2. Per-thread update sets. Algorithm 2 scans every variable at each end
+ *    event. Here each read/write enrolls the variable in UpdateSet^r/w_u of
+ *    exactly those threads u whose active transaction is ordered before the
+ *    access, so an end event touches only the variables it must.
+ *
+ * 3. Garbage collection ("hasIncomingEdge"). A completed transaction that
+ *    received no orderings from other threads since its begin (its clock is
+ *    unchanged outside its own component) and whose forking transaction is
+ *    no longer alive can never be part of a violating cycle — mirroring
+ *    Velodrome's no-incoming-edge rule — so its end event skips the entire
+ *    propagation phase.
+ *
+ * All ordering tests use the one-component ("lightweight timestamp") form;
+ * see aerodrome_readopt.hpp for why this is equivalent.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "aerodrome/aerodrome_basic.hpp" // for AeroDromeStats
+#include "analysis/checker.hpp"
+#include "analysis/txn_tracker.hpp"
+#include "trace/trace.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace aero {
+
+/** Extra statistics for the optimized engine. */
+struct AeroDromeOptStats {
+    /** End events whose propagation was skipped by hasIncomingEdge. */
+    uint64_t gc_skipped_ends = 0;
+    /** End events that ran the full propagation. */
+    uint64_t propagated_ends = 0;
+    /** Lazy read enrollments that avoided an eager clock join. */
+    uint64_t lazy_reads = 0;
+    /** Lazy write enrollments that avoided an eager clock copy. */
+    uint64_t lazy_writes = 0;
+};
+
+/** AeroDrome, Algorithm 3 (lazy updates + update sets + GC). */
+class AeroDromeOpt : public CheckerBase {
+public:
+    AeroDromeOpt(uint32_t num_threads, uint32_t num_vars,
+                 uint32_t num_locks);
+
+    std::string_view name() const override { return "AeroDrome"; }
+
+    bool process(const Event& e, size_t index) override;
+
+    const AeroDromeStats& stats() const { return stats_; }
+    const AeroDromeOptStats& opt_stats() const { return opt_stats_; }
+
+private:
+    bool check_and_get(const VectorClock& check_clk,
+                       const VectorClock& join_clk, ThreadId t, size_t index,
+                       const char* reason);
+
+    bool
+    begin_before(ThreadId t, const VectorClock& clk) const
+    {
+        return cb_[t].get(t) <= clk.get(t);
+    }
+
+    /** Algorithm 3's hasIncomingEdge(t), evaluated at t's end event. */
+    bool has_incoming_edge(ThreadId t) const;
+
+    /** Flush staleReaders_x into R_x / hR_x (before a write's checks). */
+    void flush_stale_readers(VarId x);
+
+    /** Enroll x in the read/write update set of every thread with an
+     *  active transaction ordered before C_t. */
+    void enroll_update_sets(ThreadId t, VarId x, bool is_write);
+
+    void ensure_thread(ThreadId t);
+    void ensure_var(VarId x);
+    void ensure_lock(LockId l);
+
+    bool handle_end(ThreadId t, size_t index);
+
+    TxnTracker txns_;
+
+    std::vector<VectorClock> c_;
+    std::vector<VectorClock> cb_;
+    std::vector<VectorClock> l_;
+    std::vector<VectorClock> w_;
+    std::vector<VectorClock> rx_;
+    std::vector<VectorClock> hrx_;
+
+    std::vector<ThreadId> last_rel_thr_;
+    std::vector<ThreadId> last_w_thr_;
+
+    /** staleWrite_x: W_x lags behind the last write, whose timestamp is
+     *  the live clock of last_w_thr_[x] (within that thread's still-active
+     *  transaction). */
+    std::vector<uint8_t> stale_write_;
+    /** staleReaders_x: threads whose last read of x is not yet in R_x. */
+    std::vector<std::vector<ThreadId>> stale_readers_;
+
+    /** UpdateSet^r_t / UpdateSet^w_t as a list plus membership bytes. */
+    struct UpdateSet {
+        std::vector<VarId> list;
+        std::vector<uint8_t> member; // indexed by VarId
+        void
+        insert(VarId x)
+        {
+            if (x >= member.size())
+                member.resize(x + 1, 0);
+            if (!member[x]) {
+                member[x] = 1;
+                list.push_back(x);
+            }
+        }
+        void
+        clear()
+        {
+            for (VarId x : list)
+                member[x] = 0;
+            list.clear();
+        }
+    };
+    std::vector<UpdateSet> upd_r_;
+    std::vector<UpdateSet> upd_w_;
+
+    /** Fork bookkeeping for hasIncomingEdge's "parentTr is alive". */
+    std::vector<ThreadId> parent_thread_;
+    std::vector<uint64_t> parent_txn_seq_; // 0 = fork outside a transaction
+
+    AeroDromeStats stats_;
+    AeroDromeOptStats opt_stats_;
+};
+
+} // namespace aero

@@ -1,0 +1,186 @@
+#include "aerodrome/aerodrome_readopt.hpp"
+
+namespace aero {
+
+AeroDromeReadOpt::AeroDromeReadOpt(uint32_t num_threads, uint32_t num_vars,
+                                   uint32_t num_locks)
+    : txns_(num_threads)
+{
+    c_.resize(num_threads);
+    cb_.resize(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t)
+        c_[t].set(t, 1);
+    l_.resize(num_locks);
+    w_.resize(num_vars);
+    rx_.resize(num_vars);
+    hrx_.resize(num_vars);
+    last_rel_thr_.assign(num_locks, kNoThread);
+    last_w_thr_.assign(num_vars, kNoThread);
+}
+
+void
+AeroDromeReadOpt::ensure_thread(ThreadId t)
+{
+    if (t >= c_.size()) {
+        size_t old = c_.size();
+        c_.resize(t + 1);
+        cb_.resize(t + 1);
+        for (size_t u = old; u < c_.size(); ++u)
+            c_[u].set(u, 1);
+        txns_.ensure(t + 1);
+    }
+}
+
+void
+AeroDromeReadOpt::ensure_var(VarId x)
+{
+    if (x >= w_.size()) {
+        w_.resize(x + 1);
+        rx_.resize(x + 1);
+        hrx_.resize(x + 1);
+        last_w_thr_.resize(x + 1, kNoThread);
+    }
+}
+
+void
+AeroDromeReadOpt::ensure_lock(LockId l)
+{
+    if (l >= l_.size()) {
+        l_.resize(l + 1);
+        last_rel_thr_.resize(l + 1, kNoThread);
+    }
+}
+
+bool
+AeroDromeReadOpt::check_and_get(const VectorClock& check_clk,
+                                const VectorClock& join_clk, ThreadId t,
+                                size_t index, const char* reason)
+{
+    ++stats_.comparisons;
+    if (txns_.active(t) && begin_before(t, check_clk))
+        return report(index, t, reason);
+    ++stats_.joins;
+    c_[t].join(join_clk);
+    return false;
+}
+
+bool
+AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
+{
+    const VectorClock& ct = c_[t];
+    const VectorClock& cbt = cb_[t];
+
+    for (ThreadId u = 0; u < c_.size(); ++u) {
+        if (u == t)
+            continue;
+        ++stats_.comparisons;
+        if (cbt.get(t) <= c_[u].get(t)) {
+            if (check_and_get(ct, ct, u, index,
+                              "active peer ordered into completed "
+                              "transaction")) {
+                return true;
+            }
+        }
+    }
+    for (auto& ll : l_) {
+        ++stats_.comparisons;
+        if (cbt.get(t) <= ll.get(t)) {
+            ++stats_.joins;
+            ll.join(ct);
+        }
+    }
+    for (VarId x = 0; x < w_.size(); ++x) {
+        ++stats_.comparisons;
+        if (cbt.get(t) <= w_[x].get(t)) {
+            ++stats_.joins;
+            w_[x].join(ct);
+        }
+        ++stats_.comparisons;
+        if (cbt.get(t) <= rx_[x].get(t)) {
+            stats_.joins += 2;
+            rx_[x].join(ct);
+            hrx_[x].join_except(ct, t);
+        }
+    }
+    return false;
+}
+
+bool
+AeroDromeReadOpt::process(const Event& e, size_t index)
+{
+    const ThreadId t = e.tid;
+    ensure_thread(t);
+
+    switch (e.op) {
+      case Op::kBegin:
+        if (txns_.on_begin(t)) {
+            c_[t].tick(t);
+            cb_[t] = c_[t];
+        }
+        return false;
+
+      case Op::kEnd:
+        if (txns_.on_end(t))
+            return handle_end(t, index);
+        return false;
+
+      case Op::kAcquire:
+        ensure_lock(e.target);
+        if (last_rel_thr_[e.target] != t) {
+            return check_and_get(l_[e.target], l_[e.target], t, index,
+                                 "acquire saw conflicting release");
+        }
+        return false;
+
+      case Op::kRelease:
+        ensure_lock(e.target);
+        l_[e.target] = c_[t];
+        last_rel_thr_[e.target] = t;
+        return false;
+
+      case Op::kFork:
+        ensure_thread(e.target);
+        ++stats_.joins;
+        c_[e.target].join(c_[t]);
+        return false;
+
+      case Op::kJoin:
+        ensure_thread(e.target);
+        return check_and_get(c_[e.target], c_[e.target], t, index,
+                             "join saw child's events");
+
+      case Op::kRead: {
+        ensure_var(e.target);
+        if (last_w_thr_[e.target] != t) {
+            if (check_and_get(w_[e.target], w_[e.target], t, index,
+                              "read saw conflicting write")) {
+                return true;
+            }
+        }
+        stats_.joins += 2;
+        rx_[e.target].join(c_[t]);
+        hrx_[e.target].join_except(c_[t], t);
+        return false;
+      }
+
+      case Op::kWrite: {
+        ensure_var(e.target);
+        if (last_w_thr_[e.target] != t) {
+            if (check_and_get(w_[e.target], w_[e.target], t, index,
+                              "write saw conflicting write")) {
+                return true;
+            }
+        }
+        if (check_and_get(hrx_[e.target], rx_[e.target], t, index,
+                          "write saw conflicting read")) {
+            return true;
+        }
+        w_[e.target] = c_[t];
+        last_w_thr_[e.target] = t;
+        return false;
+      }
+    }
+    return false;
+}
+
+} // namespace aero

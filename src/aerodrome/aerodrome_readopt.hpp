@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * AeroDrome with the read-clock reduction — the paper's Algorithm 2
+ * (Section 4.3 / Appendix C.1).
+ *
+ * Algorithm 1 keeps a read clock R_{t,x} per (thread, variable) pair:
+ * O(|Thr| * V) clocks. This variant replaces them with two clocks per
+ * variable:
+ *
+ *   - R_x  = |_|_u R_{u,x}          (used to *update* C_t at writes)
+ *   - hR_x = |_|_u R_{u,x}[0/u]     (used to *check* violations at writes)
+ *
+ * hR_x zeroes each reader's own component so a thread's own reads cannot
+ * trigger a self-violation. Soundness of the single-clock check rests on
+ * the paper's lightweight-timestamp invariant: for an event e1 of thread
+ * t1, C_{e1} sqsubseteq C_{e2} holds iff C_{e1}(t1) <= C_{e2}(t1), so
+ * comparisons against the begin clock C_t^b reduce to its component t —
+ * and against a *join* of clocks that component-wise test is exactly
+ * "exists u with C_t^b sqsubseteq R_{u,x}". For that reason every ordering
+ * test in this variant uses the one-component form.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "aerodrome/aerodrome_basic.hpp" // for AeroDromeStats
+#include "analysis/checker.hpp"
+#include "analysis/txn_tracker.hpp"
+#include "trace/trace.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace aero {
+
+/** AeroDrome, Algorithm 2 (read-clock reduction). */
+class AeroDromeReadOpt : public CheckerBase {
+public:
+    AeroDromeReadOpt(uint32_t num_threads, uint32_t num_vars,
+                     uint32_t num_locks);
+
+    std::string_view name() const override { return "AeroDrome-readopt"; }
+
+    bool process(const Event& e, size_t index) override;
+
+    const AeroDromeStats& stats() const { return stats_; }
+
+private:
+    /**
+     * checkAndGet(check_clk, join_clk, t): violation if t's active begin is
+     * ordered before check_clk (one-component test); else join join_clk
+     * into C_t.
+     */
+    bool check_and_get(const VectorClock& check_clk,
+                       const VectorClock& join_clk, ThreadId t, size_t index,
+                       const char* reason);
+
+    /** One-component ordering test: C_t^b sqsubseteq clk. */
+    bool
+    begin_before(ThreadId t, const VectorClock& clk) const
+    {
+        return cb_[t].get(t) <= clk.get(t);
+    }
+
+    void ensure_thread(ThreadId t);
+    void ensure_var(VarId x);
+    void ensure_lock(LockId l);
+
+    bool handle_end(ThreadId t, size_t index);
+
+    TxnTracker txns_;
+
+    std::vector<VectorClock> c_;
+    std::vector<VectorClock> cb_;
+    std::vector<VectorClock> l_;
+    std::vector<VectorClock> w_;
+    std::vector<VectorClock> rx_;  // R_x
+    std::vector<VectorClock> hrx_; // hR_x
+
+    std::vector<ThreadId> last_rel_thr_;
+    std::vector<ThreadId> last_w_thr_;
+
+    AeroDromeStats stats_;
+};
+
+} // namespace aero

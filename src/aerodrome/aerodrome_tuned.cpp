@@ -1,0 +1,378 @@
+#include "aerodrome/aerodrome_tuned.hpp"
+
+#include <algorithm>
+
+namespace aero {
+
+AeroDromeTuned::AeroDromeTuned(uint32_t num_threads, uint32_t num_vars,
+                               uint32_t num_locks)
+    : txns_(num_threads)
+{
+    c_.resize(num_threads);
+    cb_.resize(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t)
+        c_[t].set(t, 1);
+    l_.resize(num_locks);
+    w_.resize(num_vars);
+    rx_.resize(num_vars);
+    hrx_.resize(num_vars);
+    last_rel_thr_.assign(num_locks, kNoThread);
+    last_w_thr_.assign(num_vars, kNoThread);
+    stale_write_.assign(num_vars, 0);
+    stale_readers_.resize(num_vars);
+    upd_r_.resize(num_threads);
+    upd_w_.resize(num_threads);
+    parent_thread_.assign(num_threads, kNoThread);
+    parent_txn_seq_.assign(num_threads, 0);
+    active_pos_.assign(num_threads, kNoActive);
+    clock_version_.assign(num_threads, 1);
+    var_version_.assign(num_vars, 1);
+    last_reader_.assign(num_vars, kNoThread);
+    last_reader_cv_.assign(num_vars, 0);
+    last_reader_vv_.assign(num_vars, 0);
+    last_writer_cv_.assign(num_vars, 0);
+    last_writer_vv_.assign(num_vars, 0);
+}
+
+void
+AeroDromeTuned::ensure_thread(ThreadId t)
+{
+    if (t >= c_.size()) {
+        size_t old = c_.size();
+        c_.resize(t + 1);
+        cb_.resize(t + 1);
+        upd_r_.resize(t + 1);
+        upd_w_.resize(t + 1);
+        parent_thread_.resize(t + 1, kNoThread);
+        parent_txn_seq_.resize(t + 1, 0);
+        active_pos_.resize(t + 1, kNoActive);
+        clock_version_.resize(t + 1, 1);
+        for (size_t u = old; u < c_.size(); ++u)
+            c_[u].set(u, 1);
+        txns_.ensure(t + 1);
+    }
+}
+
+void
+AeroDromeTuned::ensure_var(VarId x)
+{
+    if (x >= w_.size()) {
+        w_.resize(x + 1);
+        rx_.resize(x + 1);
+        hrx_.resize(x + 1);
+        last_w_thr_.resize(x + 1, kNoThread);
+        stale_write_.resize(x + 1, 0);
+        stale_readers_.resize(x + 1);
+        var_version_.resize(x + 1, 1);
+        last_reader_.resize(x + 1, kNoThread);
+        last_reader_cv_.resize(x + 1, 0);
+        last_reader_vv_.resize(x + 1, 0);
+        last_writer_cv_.resize(x + 1, 0);
+        last_writer_vv_.resize(x + 1, 0);
+    }
+}
+
+void
+AeroDromeTuned::ensure_lock(LockId l)
+{
+    if (l >= l_.size()) {
+        l_.resize(l + 1);
+        last_rel_thr_.resize(l + 1, kNoThread);
+    }
+}
+
+void
+AeroDromeTuned::add_active(ThreadId t)
+{
+    if (active_pos_[t] == kNoActive) {
+        active_pos_[t] = static_cast<uint32_t>(active_threads_.size());
+        active_threads_.push_back(t);
+    }
+}
+
+void
+AeroDromeTuned::remove_active(ThreadId t)
+{
+    uint32_t pos = active_pos_[t];
+    if (pos == kNoActive)
+        return;
+    ThreadId moved = active_threads_.back();
+    active_threads_[pos] = moved;
+    active_pos_[moved] = pos;
+    active_threads_.pop_back();
+    active_pos_[t] = kNoActive;
+}
+
+bool
+AeroDromeTuned::check_and_get(const VectorClock& check_clk,
+                              const VectorClock& join_clk, ThreadId t,
+                              size_t index, const char* reason)
+{
+    ++stats_.comparisons;
+    if (txns_.active(t) && begin_before(t, check_clk))
+        return report(index, t, reason);
+    ++stats_.joins;
+    c_[t].join(join_clk);
+    bump_clock_version(t);
+    return false;
+}
+
+bool
+AeroDromeTuned::has_incoming_edge(ThreadId t) const
+{
+    ThreadId p = parent_thread_[t];
+    if (p != kNoThread && parent_txn_seq_[t] != 0 && txns_.active(p) &&
+        txns_.seq(p) == parent_txn_seq_[t]) {
+        return true;
+    }
+    const VectorClock& ct = c_[t];
+    const VectorClock& cbt = cb_[t];
+    for (size_t u = 0; u < ct.dim(); ++u) {
+        if (u != t && ct.get(u) != cbt.get(u))
+            return true;
+    }
+    // Transit-ancestry guard (see aerodrome_opt.cpp for the argument):
+    // propagate when another still-active transaction's begin is already
+    // visible in C_t^b, because dropping this transaction's lazy state
+    // would sever a program-order transit chain that active transaction
+    // may still need to close a cycle.
+    for (ThreadId u : active_threads_) {
+        if (u != t && cb_[u].get(u) > 0 && cb_[u].get(u) <= cbt.get(u))
+            return true;
+    }
+    return false;
+}
+
+void
+AeroDromeTuned::flush_stale_readers(VarId x)
+{
+    for (ThreadId u : stale_readers_[x]) {
+        stats_.joins += 2;
+        rx_[x].join(c_[u]);
+        hrx_[x].join_except(c_[u], u);
+    }
+    stale_readers_[x].clear();
+}
+
+void
+AeroDromeTuned::enroll_update_sets(ThreadId t, VarId x, bool is_write)
+{
+    // Only transaction-holding threads can qualify: scan the active list
+    // instead of all of Thr.
+    auto& sets = is_write ? upd_w_ : upd_r_;
+    for (ThreadId u : active_threads_) {
+        if (cb_[u].get(u) <= c_[t].get(u))
+            sets[u].insert(x);
+    }
+}
+
+bool
+AeroDromeTuned::handle_end(ThreadId t, size_t index)
+{
+    if (!has_incoming_edge(t)) {
+        ++opt_stats_.gc_skipped_ends;
+        for (VarId x : upd_r_[t].list) {
+            auto& sr = stale_readers_[x];
+            sr.erase(std::remove(sr.begin(), sr.end(), t), sr.end());
+            if (last_reader_[x] == t)
+                last_reader_[x] = kNoThread;
+            ++var_version_[x];
+        }
+        upd_r_[t].clear();
+        for (VarId x : upd_w_[t].list) {
+            if (last_w_thr_[x] == t) {
+                stale_write_[x] = 0;
+                last_w_thr_[x] = kNoThread;
+            }
+            ++var_version_[x];
+        }
+        upd_w_[t].clear();
+        for (LockId l = 0; l < last_rel_thr_.size(); ++l) {
+            if (last_rel_thr_[l] == t)
+                last_rel_thr_[l] = kNoThread;
+        }
+        return false;
+    }
+
+    ++opt_stats_.propagated_ends;
+    const VectorClock& ct = c_[t];
+    const VectorClock& cbt = cb_[t];
+
+    for (ThreadId u = 0; u < c_.size(); ++u) {
+        if (u == t)
+            continue;
+        ++stats_.comparisons;
+        if (cbt.get(t) <= c_[u].get(t)) {
+            if (check_and_get(ct, ct, u, index,
+                              "active peer ordered into completed "
+                              "transaction")) {
+                return true;
+            }
+        }
+    }
+    for (auto& ll : l_) {
+        ++stats_.comparisons;
+        if (cbt.get(t) <= ll.get(t)) {
+            ++stats_.joins;
+            ll.join(ct);
+        }
+    }
+    for (VarId x : upd_w_[t].list) {
+        if (!stale_write_[x] || last_w_thr_[x] == t) {
+            ++stats_.joins;
+            w_[x].join(ct);
+        }
+        if (last_w_thr_[x] == t)
+            stale_write_[x] = 0;
+        ++var_version_[x];
+    }
+    upd_w_[t].clear();
+    for (VarId x : upd_r_[t].list) {
+        stats_.joins += 2;
+        rx_[x].join(ct);
+        hrx_[x].join_except(ct, t);
+        auto& sr = stale_readers_[x];
+        sr.erase(std::remove(sr.begin(), sr.end(), t), sr.end());
+        if (last_reader_[x] == t)
+            last_reader_[x] = kNoThread;
+        ++var_version_[x];
+    }
+    upd_r_[t].clear();
+    return false;
+}
+
+bool
+AeroDromeTuned::process(const Event& e, size_t index)
+{
+    const ThreadId t = e.tid;
+    ensure_thread(t);
+
+    switch (e.op) {
+      case Op::kBegin:
+        if (txns_.on_begin(t)) {
+            c_[t].tick(t);
+            cb_[t] = c_[t];
+            bump_clock_version(t);
+            add_active(t);
+        }
+        return false;
+
+      case Op::kEnd:
+        if (txns_.on_end(t)) {
+            remove_active(t);
+            return handle_end(t, index);
+        }
+        return false;
+
+      case Op::kAcquire:
+        ensure_lock(e.target);
+        if (last_rel_thr_[e.target] != t) {
+            return check_and_get(l_[e.target], l_[e.target], t, index,
+                                 "acquire saw conflicting release");
+        }
+        return false;
+
+      case Op::kRelease:
+        ensure_lock(e.target);
+        l_[e.target] = c_[t];
+        last_rel_thr_[e.target] = t;
+        return false;
+
+      case Op::kFork:
+        ensure_thread(e.target);
+        ++stats_.joins;
+        c_[e.target].join(c_[t]);
+        bump_clock_version(e.target);
+        parent_thread_[e.target] = t;
+        parent_txn_seq_[e.target] = txns_.active(t) ? txns_.seq(t) : 0;
+        return false;
+
+      case Op::kJoin:
+        ensure_thread(e.target);
+        return check_and_get(c_[e.target], c_[e.target], t, index,
+                             "join saw child's events");
+
+      case Op::kRead: {
+        const VarId x = e.target;
+        ensure_var(x);
+        // Same-epoch fast path: this exact read already happened and
+        // nothing observable changed since.
+        if (txns_.active(t) && last_reader_[x] == t &&
+            last_reader_cv_[x] == clock_version_[t] &&
+            last_reader_vv_[x] == var_version_[x]) {
+            ++tuned_stats_.same_epoch_reads;
+            return false;
+        }
+        if (last_w_thr_[x] != t) {
+            const VectorClock& wclk =
+                stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
+            if (check_and_get(wclk, wclk, t, index,
+                              "read saw conflicting write")) {
+                return true;
+            }
+        }
+        if (txns_.active(t)) {
+            auto& sr = stale_readers_[x];
+            if (std::find(sr.begin(), sr.end(), t) == sr.end()) {
+                sr.push_back(t);
+                ++var_version_[x];
+            }
+            ++opt_stats_.lazy_reads;
+            last_reader_[x] = t;
+            last_reader_cv_[x] = clock_version_[t];
+            last_reader_vv_[x] = var_version_[x];
+        } else {
+            stats_.joins += 2;
+            rx_[x].join(c_[t]);
+            hrx_[x].join_except(c_[t], t);
+            ++var_version_[x];
+        }
+        enroll_update_sets(t, x, /*is_write=*/false);
+        return false;
+      }
+
+      case Op::kWrite: {
+        const VarId x = e.target;
+        ensure_var(x);
+        // Same-epoch fast path: t already is the pending stale writer,
+        // its clock is unchanged, and no read of x intervened.
+        if (txns_.active(t) && stale_write_[x] && last_w_thr_[x] == t &&
+            last_writer_cv_[x] == clock_version_[t] &&
+            last_writer_vv_[x] == var_version_[x]) {
+            ++tuned_stats_.same_epoch_writes;
+            return false;
+        }
+        if (last_w_thr_[x] != t) {
+            const VectorClock& wclk =
+                stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
+            if (check_and_get(wclk, wclk, t, index,
+                              "write saw conflicting write")) {
+                return true;
+            }
+        }
+        flush_stale_readers(x);
+        if (check_and_get(hrx_[x], rx_[x], t, index,
+                          "write saw conflicting read")) {
+            return true;
+        }
+        if (txns_.active(t)) {
+            stale_write_[x] = 1;
+            ++opt_stats_.lazy_writes;
+        } else {
+            stale_write_[x] = 0;
+            w_[x] = c_[t];
+        }
+        last_w_thr_[x] = t;
+        ++var_version_[x];
+        last_writer_cv_[x] = clock_version_[t];
+        last_writer_vv_[x] = var_version_[x];
+        // The write invalidates pending same-epoch reads of x.
+        last_reader_[x] = kNoThread;
+        enroll_update_sets(t, x, /*is_write=*/true);
+        return false;
+      }
+    }
+    return false;
+}
+
+} // namespace aero

@@ -1,0 +1,160 @@
+#pragma once
+
+/**
+ * @file
+ * AeroDrome-tuned — Algorithm 3 plus the engineering fast paths the paper
+ * sketches as future work (Section 7: "improving the efficiency of the
+ * proposed dynamic analysis ... includes the classic epoch optimizations
+ * [FastTrack]"). Two additions, both semantics-preserving:
+ *
+ * 1. Active-thread list. Algorithm 3 enrolls every access's variable in
+ *    the update sets of all threads whose active transaction is ordered
+ *    before the access — an O(|Thr|) scan per event. Most threads have
+ *    no open transaction most of the time, so this engine maintains the
+ *    set of transaction-holding threads and scans only those.
+ *
+ * 2. Same-epoch skips (FastTrack's owned-access idea). A read of x by
+ *    thread t is a complete no-op when t already read x, t's clock has
+ *    not changed since, and x has not been written since: the conflict
+ *    check would evaluate identically, t is already in staleReaders_x,
+ *    and no thread's update-set membership can have changed (a
+ *    transaction that began in between has a begin counter strictly
+ *    above anything t's unchanged clock has seen). The same reasoning
+ *    skips a repeated write when t is the stale last writer, no reader
+ *    intervened, and t's clock is unchanged. Tight loops that hammer one
+ *    variable — the dominant pattern the paper's lazy updates target —
+ *    reduce to two array compares per event.
+ *
+ * Every verdict must equal AeroDromeOpt's; the differential suite
+ * enforces this on the fuzz corpus.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "aerodrome/aerodrome_basic.hpp" // AeroDromeStats
+#include "aerodrome/aerodrome_opt.hpp"   // AeroDromeOptStats
+#include "analysis/checker.hpp"
+#include "analysis/txn_tracker.hpp"
+#include "trace/trace.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace aero {
+
+/** Extra statistics for the tuned engine. */
+struct AeroDromeTunedStats {
+    /** Reads skipped by the same-epoch fast path. */
+    uint64_t same_epoch_reads = 0;
+    /** Writes skipped by the same-epoch fast path. */
+    uint64_t same_epoch_writes = 0;
+};
+
+/** AeroDrome with active-thread and same-epoch fast paths. */
+class AeroDromeTuned : public CheckerBase {
+public:
+    AeroDromeTuned(uint32_t num_threads, uint32_t num_vars,
+                   uint32_t num_locks);
+
+    std::string_view name() const override { return "AeroDrome-tuned"; }
+
+    bool process(const Event& e, size_t index) override;
+
+    const AeroDromeStats& stats() const { return stats_; }
+    const AeroDromeOptStats& opt_stats() const { return opt_stats_; }
+    const AeroDromeTunedStats& tuned_stats() const { return tuned_stats_; }
+
+private:
+    bool check_and_get(const VectorClock& check_clk,
+                       const VectorClock& join_clk, ThreadId t, size_t index,
+                       const char* reason);
+
+    bool
+    begin_before(ThreadId t, const VectorClock& clk) const
+    {
+        return cb_[t].get(t) <= clk.get(t);
+    }
+
+    bool has_incoming_edge(ThreadId t) const;
+    void flush_stale_readers(VarId x);
+    void enroll_update_sets(ThreadId t, VarId x, bool is_write);
+    bool handle_end(ThreadId t, size_t index);
+
+    /** Record that C_t may have changed (invalidates same-epoch skips). */
+    void
+    bump_clock_version(ThreadId t)
+    {
+        ++clock_version_[t];
+    }
+
+    void add_active(ThreadId t);
+    void remove_active(ThreadId t);
+
+    void ensure_thread(ThreadId t);
+    void ensure_var(VarId x);
+    void ensure_lock(LockId l);
+
+    TxnTracker txns_;
+
+    std::vector<VectorClock> c_;
+    std::vector<VectorClock> cb_;
+    std::vector<VectorClock> l_;
+    std::vector<VectorClock> w_;
+    std::vector<VectorClock> rx_;
+    std::vector<VectorClock> hrx_;
+
+    std::vector<ThreadId> last_rel_thr_;
+    std::vector<ThreadId> last_w_thr_;
+    std::vector<uint8_t> stale_write_;
+    std::vector<std::vector<ThreadId>> stale_readers_;
+
+    struct UpdateSet {
+        std::vector<VarId> list;
+        std::vector<uint8_t> member;
+        void
+        insert(VarId x)
+        {
+            if (x >= member.size())
+                member.resize(x + 1, 0);
+            if (!member[x]) {
+                member[x] = 1;
+                list.push_back(x);
+            }
+        }
+        void
+        clear()
+        {
+            for (VarId x : list)
+                member[x] = 0;
+            list.clear();
+        }
+    };
+    std::vector<UpdateSet> upd_r_;
+    std::vector<UpdateSet> upd_w_;
+
+    std::vector<ThreadId> parent_thread_;
+    std::vector<uint64_t> parent_txn_seq_;
+
+    // Active-thread list with O(1) insert/remove.
+    std::vector<ThreadId> active_threads_;
+    std::vector<uint32_t> active_pos_; // kNoActive when absent
+    static constexpr uint32_t kNoActive = UINT32_MAX;
+
+    // Same-epoch bookkeeping. A skip is valid only if *nothing* about
+    // the variable changed since the access being repeated, so
+    // var_version_ is bumped on every mutation of x's analysis state
+    // (writes, stale-set changes, R/W/hR clock joins, flushes, GC
+    // resets) and the thread's own clock version must match too.
+    std::vector<uint64_t> clock_version_;  // per thread
+    std::vector<uint64_t> var_version_;    // per var
+    std::vector<ThreadId> last_reader_;    // per var
+    std::vector<uint64_t> last_reader_cv_; // clock version at that read
+    std::vector<uint64_t> last_reader_vv_; // var version after that read
+    std::vector<uint64_t> last_writer_cv_; // writer clock version
+    std::vector<uint64_t> last_writer_vv_; // var version after the write
+
+    AeroDromeStats stats_;
+    AeroDromeOptStats opt_stats_;
+    AeroDromeTunedStats tuned_stats_;
+};
+
+} // namespace aero

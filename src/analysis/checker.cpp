@@ -1,0 +1,13 @@
+#include "analysis/checker.hpp"
+
+namespace aero {
+
+bool
+CheckerBase::report(size_t index, ThreadId thread, std::string reason)
+{
+    if (!violation_)
+        violation_ = Violation{index, thread, std::move(reason)};
+    return true;
+}
+
+} // namespace aero

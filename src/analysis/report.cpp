@@ -1,0 +1,72 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace aero {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    AERO_ASSERT(header_.empty() || cells.size() == header_.size(),
+                "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    size_t cols = header_.size();
+    for (const auto& r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string>& r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    measure(header_);
+    for (const auto& r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << std::string(width[i] - r[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 < cols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+}
+
+std::string
+format_speedup(double ratio, bool lower_bound)
+{
+    char buf[64];
+    if (ratio >= 100) {
+        std::snprintf(buf, sizeof(buf), "%s%.0f", lower_bound ? "> " : "",
+                      ratio);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s%.2f", lower_bound ? "> " : "",
+                      ratio);
+    }
+    return buf;
+}
+
+} // namespace aero

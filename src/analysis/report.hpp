@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. The Table 1 /
+ * Table 2 binaries print rows in the same shape as the paper: program,
+ * events, threads, locks, variables, transactions, verdict, per-checker
+ * time, and speed-up.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aero {
+
+/** A simple right-padded text table. */
+class TextTable {
+public:
+    /** Set the header row (fixes the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Format a speed-up figure like the paper's column 10: "97", "1.16",
+ * "> 24000" (when the baseline timed out and the ratio is a lower bound),
+ * "0.86".
+ */
+std::string format_speedup(double ratio, bool lower_bound);
+
+} // namespace aero

@@ -1,0 +1,60 @@
+#include "analysis/runner.hpp"
+
+#include "support/stopwatch.hpp"
+#include "trace/stream.hpp"
+
+namespace aero {
+
+RunResult
+run_checker(AtomicityChecker& checker, const Trace& trace,
+            const RunBudget& budget)
+{
+    RunResult result;
+    Stopwatch watch;
+    const auto& events = trace.events();
+    const bool limited = budget.max_seconds > 0;
+
+    for (size_t i = 0; i < events.size(); ++i) {
+        if (limited && (i % budget.check_interval) == 0 &&
+            watch.elapsed_seconds() > budget.max_seconds) {
+            result.timed_out = true;
+            break;
+        }
+        ++result.events_processed;
+        if (checker.process(events[i], i)) {
+            result.violation = true;
+            break;
+        }
+    }
+    result.seconds = watch.elapsed_seconds();
+    result.details = checker.violation();
+    return result;
+}
+
+RunResult
+run_checker_stream(AtomicityChecker& checker, EventSource& source,
+                   const RunBudget& budget)
+{
+    RunResult result;
+    Stopwatch watch;
+    const bool limited = budget.max_seconds > 0;
+
+    Event e;
+    for (size_t i = 0; source.next(e); ++i) {
+        if (limited && (i % budget.check_interval) == 0 &&
+            watch.elapsed_seconds() > budget.max_seconds) {
+            result.timed_out = true;
+            break;
+        }
+        ++result.events_processed;
+        if (checker.process(e, i)) {
+            result.violation = true;
+            break;
+        }
+    }
+    result.seconds = watch.elapsed_seconds();
+    result.details = checker.violation();
+    return result;
+}
+
+} // namespace aero

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Timed checker execution with budget enforcement.
+ *
+ * The paper ran each analysis with a 10-hour timeout and reports "TO" where
+ * Velodrome exceeded it (Table 1). The runner reproduces those semantics at
+ * laptop scale: a wall-clock budget checked every `check_interval` events.
+ */
+
+#include <cstdint>
+
+#include "analysis/checker.hpp"
+#include "trace/trace.hpp"
+
+namespace aero {
+
+/** Budget for one checker run. */
+struct RunBudget {
+    /** Wall-clock limit in seconds; <= 0 means unlimited. */
+    double max_seconds = 0;
+    /** How often (in events) to poll the clock. */
+    uint64_t check_interval = 65536;
+};
+
+/** Outcome of streaming one trace through one checker. */
+struct RunResult {
+    /** True if the checker declared a conflict-serializability violation. */
+    bool violation = false;
+    /** True if the budget expired before the trace was exhausted. */
+    bool timed_out = false;
+    /** Events consumed (including the violating event, if any). */
+    uint64_t events_processed = 0;
+    /** Wall-clock seconds spent inside the checker loop. */
+    double seconds = 0;
+    /** Violation evidence when violation is true. */
+    std::optional<Violation> details;
+
+    /** Paper-style verdict cell: "x" (violation) / "ok" / "TO". */
+    const char*
+    verdict() const
+    {
+        if (timed_out)
+            return "TO";
+        return violation ? "x" : "ok";
+    }
+};
+
+/** Stream `trace` through `checker` under `budget`. */
+RunResult run_checker(AtomicityChecker& checker, const Trace& trace,
+                      const RunBudget& budget = {});
+
+class EventSource;
+
+/**
+ * Pull events from `source` through `checker` under `budget` — the
+ * constant-memory path for logs too large to materialize.
+ */
+RunResult run_checker_stream(AtomicityChecker& checker, EventSource& source,
+                             const RunBudget& budget = {});
+
+} // namespace aero

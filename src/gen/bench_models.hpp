@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Synthetic stand-ins for the paper's benchmark programs (Tables 1 and 2).
+ *
+ * The paper logs traces from Java programs (DaCapo, Java Grande, and
+ * microbenchmarks) with RoadRunner; those traces are not reproducible
+ * offline, so each row is modelled by a generated trace that preserves the
+ * characteristics the two algorithms are sensitive to:
+ *
+ *  - whether the transaction graph stays small (Velodrome's GC collects
+ *    almost everything -> Velodrome competitive) or grows without bound
+ *    with ever-growing successor sets (Velodrome superlinear -> "TO");
+ *  - whether and *where* a conflict-serializability violation appears
+ *    (early for Table 2's naive whole-thread transactions; late or never
+ *    for Table 1's realistic specifications);
+ *  - thread count and transaction granularity.
+ *
+ * Event counts are scaled from the paper's billions to laptop-scale
+ * millions; the harness reports the paper's reference numbers next to the
+ * measured ones so the *shape* (who wins, roughly by how much) can be
+ * compared directly.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace aero::gen {
+
+/** Workload family used to model a benchmark row. */
+enum class ModelKind {
+    /** Hub/producer/consumer star: Velodrome's reachability checks grow
+     *  with the trace (Table 1's TO rows and big-speedup rows). */
+    kStar,
+    /** Mostly-independent transactions (GC keeps Velodrome's graph tiny)
+     *  with an optional violation near the end of the trace. */
+    kGcFriendly,
+    /** Whole-thread mega-transactions with shared traffic: the naive
+     *  specification regime of Table 2 (violations close early). */
+    kNaive,
+    /** Dining philosophers (tiny, lock-heavy, serializable). */
+    kPhilo,
+};
+
+/** One benchmark-model row. */
+struct BenchModel {
+    std::string name;  ///< paper benchmark name (e.g. "avrora")
+    ModelKind kind;
+    bool violation;    ///< expected verdict of the generated trace
+    uint32_t threads;  ///< worker threads in the generated workload
+    uint64_t events;   ///< approximate generated event count
+
+    // Paper reference values (Tables 1-2) for side-by-side reporting.
+    std::string paper_events;
+    std::string paper_atomic;    ///< "x" (violation) or "ok"
+    std::string paper_velodrome; ///< seconds or "TO"
+    std::string paper_aerodrome;
+    std::string paper_speedup;
+
+    uint64_t seed = 1;
+};
+
+/** Build the generated trace for one model row. */
+Trace build_model_trace(const BenchModel& model);
+
+/** Rows of Table 1 (realistic specifications from DoubleChecker). */
+const std::vector<BenchModel>& table1_models();
+
+/** Rows of Table 2 (naive whole-thread specifications). */
+const std::vector<BenchModel>& table2_models();
+
+/**
+ * Scale factor applied to every model's event count; lets the bench
+ * binaries offer --scale for quick smoke runs vs. full runs.
+ */
+Trace build_model_trace_scaled(const BenchModel& model, double scale);
+
+} // namespace aero::gen

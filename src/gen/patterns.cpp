@@ -1,0 +1,329 @@
+#include "gen/patterns.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace aero::gen {
+
+void
+append_ring(Trace& trace, uint32_t k, uint32_t first_thread,
+            uint32_t first_var)
+{
+    AERO_ASSERT(k >= 2, "a ring needs at least two transactions");
+    for (uint32_t i = 0; i < k; ++i)
+        trace.begin(first_thread + i);
+    for (uint32_t i = 0; i < k; ++i)
+        trace.write(first_thread + i, first_var + i);
+    for (uint32_t i = 0; i < k; ++i)
+        trace.read(first_thread + i, first_var + (i + 1) % k);
+    for (uint32_t i = 0; i < k; ++i)
+        trace.end(first_thread + i);
+}
+
+Trace
+make_ring(uint32_t k)
+{
+    Trace trace;
+    append_ring(trace, k, 0, 0);
+    return trace;
+}
+
+Trace
+make_pipeline(uint32_t threads, uint32_t rounds)
+{
+    AERO_ASSERT(threads >= 1, "pipeline needs threads");
+    Trace trace;
+    trace.reserve(static_cast<size_t>(threads) * rounds * 4);
+    // var(i, j) = output of thread i in round j.
+    auto var = [&](uint32_t i, uint32_t j) { return j * threads + i; };
+    for (uint32_t j = 0; j < rounds; ++j) {
+        for (uint32_t i = 0; i < threads; ++i) {
+            trace.begin(i);
+            if (i > 0)
+                trace.read(i, var(i - 1, j));
+            trace.write(i, var(i, j));
+            trace.end(i);
+        }
+    }
+    return trace;
+}
+
+Trace
+make_star(const StarOptions& opts)
+{
+    Trace trace;
+    const uint32_t hub = 0;
+    const uint32_t feeder = 1;
+    const uint32_t first_producer = 2;
+    const uint32_t first_consumer = 2 + opts.producers;
+
+    // Variables: y (hub output) = 0, z (feeder output) = 1, then a fresh
+    // producer output per (producer, round).
+    const uint32_t y = 0;
+    const uint32_t z = 1;
+    auto pvar = [&](uint32_t p, uint32_t j) {
+        return 2 + j * opts.producers + p;
+    };
+
+    size_t approx =
+        static_cast<size_t>(opts.rounds) *
+        (opts.producers * 5 +
+         opts.consumers * (2 + opts.consumer_batch));
+    trace.reserve(approx + 64);
+
+    trace.begin(hub);
+    trace.write(hub, y); // consumers will read this forever after
+    trace.begin(feeder);
+    trace.write(feeder, z); // producers will read this forever after
+    for (uint32_t j = 0; j < opts.rounds; ++j) {
+        // Producers publish into a fresh variable; reading z first hangs
+        // a live incoming edge (feeder -> producer txn) on each of them,
+        // which keeps them out of Velodrome's garbage collector.
+        for (uint32_t p = 0; p < opts.producers; ++p) {
+            uint32_t t = first_producer + p;
+            trace.begin(t);
+            if (opts.producer_lock)
+                trace.acquire(t, 0);
+            trace.read(t, z);
+            trace.write(t, pvar(p, j));
+            if (opts.producer_lock)
+                trace.release(t, 0);
+            trace.end(t);
+        }
+        // Hub consumes them: each read adds a fresh edge producer -> hub.
+        for (uint32_t p = 0; p < opts.producers; ++p)
+            trace.read(hub, pvar(p, j));
+        // Consumers read the hub's output: edge hub -> consumer txn, so
+        // the hub's successor set keeps growing.
+        for (uint32_t cidx = 0; cidx < opts.consumers; ++cidx) {
+            uint32_t t = first_consumer + cidx;
+            trace.begin(t);
+            for (uint32_t b = 0; b < opts.consumer_batch; ++b)
+                trace.read(t, y);
+            trace.end(t);
+        }
+    }
+    trace.end(feeder);
+    trace.end(hub);
+
+    if (opts.violation_at_end) {
+        // Close with a 2-transaction ring on fresh variables using the
+        // hub and feeder threads.
+        append_ring(trace, 2, 0, pvar(0, opts.rounds));
+    }
+    return trace;
+}
+
+Trace
+make_independent(uint32_t threads, uint32_t txns, uint32_t accesses)
+{
+    Trace trace;
+    trace.reserve(static_cast<size_t>(threads) * txns * (accesses + 2));
+    for (uint32_t j = 0; j < txns; ++j) {
+        for (uint32_t t = 0; t < threads; ++t) {
+            trace.begin(t);
+            for (uint32_t a = 0; a < accesses; ++a) {
+                uint32_t x = t * accesses + a; // thread-private variable
+                if (a % 2 == 0)
+                    trace.write(t, x);
+                else
+                    trace.read(t, x);
+            }
+            trace.end(t);
+        }
+    }
+    return trace;
+}
+
+Trace
+make_reader_mesh(uint32_t threads, uint32_t rounds)
+{
+    AERO_ASSERT(threads >= 2, "reader mesh needs a writer and readers");
+    Trace trace;
+    trace.reserve(static_cast<size_t>(threads) * rounds * 3 + 4);
+    const uint32_t x = 0;
+    // Writer publishes once, in its own transaction.
+    trace.begin(0);
+    trace.write(0, x);
+    trace.end(0);
+    for (uint32_t j = 0; j < rounds; ++j) {
+        for (uint32_t t = 1; t < threads; ++t) {
+            trace.begin(t);
+            trace.read(t, x);
+            trace.end(t);
+        }
+    }
+    return trace;
+}
+
+Trace
+make_naive_spec(const NaiveSpecOptions& opts)
+{
+    Rng rng(opts.seed);
+    Trace trace;
+    trace.reserve(static_cast<size_t>(opts.threads) *
+                      (opts.events_per_thread + 2));
+
+    // Whole-thread transactions: the naive "every method atomic"
+    // specification where each thread's main method is one transaction.
+    for (uint32_t t = 0; t < opts.threads; ++t)
+        trace.begin(t);
+
+    std::vector<uint32_t> remaining(opts.threads, opts.events_per_thread);
+    const uint64_t total =
+        static_cast<uint64_t>(opts.threads) * opts.events_per_thread;
+    const uint64_t conflict_start = static_cast<uint64_t>(
+        static_cast<double>(total) * opts.conflict_position);
+    uint64_t emitted = 0;
+    auto emit = [&](uint32_t t) {
+        bool shared = emitted >= conflict_start &&
+                      rng.next_bool(opts.shared_fraction);
+        ++emitted;
+        bool write = rng.next_bool(opts.write_fraction);
+        uint32_t x;
+        if (shared) {
+            x = static_cast<uint32_t>(rng.next_below(opts.shared_vars));
+        } else {
+            x = opts.shared_vars + t * opts.private_vars_per_thread +
+                static_cast<uint32_t>(
+                    rng.next_below(opts.private_vars_per_thread));
+        }
+        if (write)
+            trace.write(t, x);
+        else
+            trace.read(t, x);
+        --remaining[t];
+    };
+
+    // Chunked interleaving: each turn runs `chunk` events of one thread.
+    bool any = true;
+    while (any) {
+        any = false;
+        for (uint32_t t = 0; t < opts.threads; ++t) {
+            uint32_t n = std::min<uint32_t>(opts.chunk, remaining[t]);
+            for (uint32_t i = 0; i < n; ++i)
+                emit(t);
+            any = any || remaining[t] > 0;
+        }
+    }
+    for (uint32_t t = 0; t < opts.threads; ++t)
+        trace.end(t);
+    return trace;
+}
+
+namespace {
+
+/** Recursive emitter for make_fork_join_tree. Node ids are heap-style:
+ *  children of i are 2i+1 and 2i+2; acc variable of node i is i. */
+void
+emit_tree_node(Trace& trace, const ForkJoinTreeOptions& opts,
+               uint32_t node, uint32_t num_nodes)
+{
+    uint32_t left = 2 * node + 1;
+    uint32_t right = 2 * node + 2;
+    if (left >= num_nodes) {
+        // Leaf: private transactions on its own accumulator.
+        for (uint32_t j = 0; j < opts.leaf_txns; ++j) {
+            trace.begin(node);
+            trace.write(node, node);
+            trace.read(node, node);
+            trace.end(node);
+        }
+        return;
+    }
+    trace.fork(node, left);
+    trace.fork(node, right);
+    if (opts.combine_before_join && node == 0) {
+        // Race the combine step at the root: the left child's combining
+        // transaction is split around the parent's read, ordering the
+        // two transactions both ways.
+        uint32_t ll = 2 * left + 1;
+        if (ll < num_nodes) {
+            // Left child is internal: run its subtree except its final
+            // combine, then interleave.
+            trace.fork(left, ll);
+            trace.fork(left, ll + 1);
+            emit_tree_node(trace, opts, ll, num_nodes);
+            emit_tree_node(trace, opts, ll + 1, num_nodes);
+            trace.join(left, ll);
+            trace.join(left, ll + 1);
+            trace.begin(left);
+            trace.write(left, left);   // first half of the combine
+            trace.begin(0);
+            trace.read(0, left);       // parent peeks too early ...
+            trace.write(left, left);   // ... child is still combining
+            trace.end(left);
+            emit_tree_node(trace, opts, right, num_nodes);
+            trace.read(0, right);
+            trace.write(0, 0);
+            trace.end(0);
+        } else {
+            // Left child is a leaf: split one of its transactions.
+            trace.begin(left);
+            trace.write(left, left);
+            trace.begin(0);
+            trace.read(0, left);
+            trace.write(left, left);
+            trace.end(left);
+            emit_tree_node(trace, opts, right, num_nodes);
+            trace.read(0, right);
+            trace.write(0, 0);
+            trace.end(0);
+        }
+        trace.join(node, left);
+        trace.join(node, right);
+        return;
+    }
+    emit_tree_node(trace, opts, left, num_nodes);
+    emit_tree_node(trace, opts, right, num_nodes);
+    trace.join(node, left);
+    trace.join(node, right);
+    trace.begin(node);
+    trace.read(node, left);
+    trace.read(node, right);
+    trace.write(node, node);
+    trace.end(node);
+}
+
+} // namespace
+
+Trace
+make_fork_join_tree(const ForkJoinTreeOptions& opts)
+{
+    AERO_ASSERT(opts.depth >= 1 && opts.depth <= 16,
+                "tree depth must be in [1, 16]");
+    uint32_t num_nodes = (1u << opts.depth) - 1;
+    Trace trace;
+    emit_tree_node(trace, opts, 0, num_nodes);
+    return trace;
+}
+
+Trace
+make_philosophers(uint32_t philosophers, uint32_t meals)
+{
+    AERO_ASSERT(philosophers >= 2, "need at least two philosophers");
+    Trace trace;
+    // Fork i = lock i; plate i = variable i. Locks are always taken in
+    // ascending id order (the classic deadlock-free discipline), making
+    // the trace serializable: strict two-phase locking per meal.
+    for (uint32_t m = 0; m < meals; ++m) {
+        for (uint32_t p = 0; p < philosophers; ++p) {
+            uint32_t left = p;
+            uint32_t right = (p + 1) % philosophers;
+            uint32_t lo = std::min(left, right);
+            uint32_t hi = std::max(left, right);
+            trace.begin(p);
+            trace.acquire(p, lo);
+            trace.acquire(p, hi);
+            trace.read(p, left);
+            trace.write(p, left);
+            trace.write(p, right);
+            trace.release(p, hi);
+            trace.release(p, lo);
+            trace.end(p);
+        }
+    }
+    return trace;
+}
+
+} // namespace aero::gen

@@ -1,0 +1,156 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic structured workload generators.
+ *
+ * Each generator builds a well-formed trace with a known serializability
+ * verdict and a known *shape* of the transaction graph, so benchmarks can
+ * dial in exactly the regime they want:
+ *
+ *  - ring:        guaranteed violation (cycle of k transactions);
+ *  - pipeline:    serializable wavefront; every transaction has incoming
+ *                 edges (defeats Velodrome's GC) but reachability checks
+ *                 stay cheap;
+ *  - star:        serializable producer/hub/consumer pattern in which the
+ *                 hub transaction accumulates an ever-growing set of
+ *                 successors; each new incoming edge makes Velodrome
+ *                 re-traverse them all — the super-linear regime of
+ *                 Table 1;
+ *  - independent: threads touch disjoint variables; trivially serializable
+ *                 (pure checker-throughput measurement);
+ *  - reader mesh: one writer, many repeated readers; stresses the read
+ *                 clocks that Algorithms 2/3 optimize;
+ *  - naive spec:  each thread is one whole-lifetime transaction (the
+ *                 paper's "all methods atomic" baseline of Table 2) with
+ *                 shared-variable traffic that closes a cycle early.
+ */
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace aero::gen {
+
+/** Ring of `k` >= 2 transactions, each ordered before the next, closing a
+ *  cycle: T_i writes x_i, then reads x_{(i+1) mod k}. Appends to `trace`
+ *  using threads [first_thread, first_thread + k) and fresh variables
+ *  starting at `first_var`. */
+void append_ring(Trace& trace, uint32_t k, uint32_t first_thread,
+                 uint32_t first_var);
+
+/** Standalone ring trace (guaranteed violation). */
+Trace make_ring(uint32_t k);
+
+/** Serializable wavefront: `threads` x `rounds` transactions; round j of
+ *  thread i reads thread i-1's round-j output and writes its own. */
+Trace make_pipeline(uint32_t threads, uint32_t rounds);
+
+/** Parameters for the star (hub) workload. */
+struct StarOptions {
+    uint32_t producers = 4;
+    uint32_t consumers = 4;
+    uint32_t rounds = 1000;
+    /** Inject a ring violation after the star phase completes. */
+    bool violation_at_end = false;
+    /** Reads per consumer transaction. */
+    uint32_t consumer_batch = 1;
+    /** Serialize producer publishes through lock 0 (adds rel->acq edges
+     *  between successive producer transactions; still acyclic). */
+    bool producer_lock = false;
+};
+
+/**
+ * Star workload: the regime in which Velodrome's per-edge reachability
+ * checks grow with the trace while its garbage collector cannot reclaim
+ * anything.
+ *
+ * Thread 0 ("hub") holds one long transaction that writes y once and then
+ * keeps reading fresh producer outputs; every such read adds a *new*
+ * incoming edge to the hub node, triggering a reachability sweep over the
+ * hub's successors. Consumer transactions read y, so the successor set
+ * grows every round — and because their incoming edge comes from the
+ * still-active hub, GC can never delete them. Thread 1 ("feeder") holds a
+ * second long transaction whose output z every producer reads first; that
+ * live incoming edge keeps producer transactions uncollectible too, so
+ * their edges into the hub are real. Producers write a fresh variable
+ * each round (re-writing one the hub already read would order the hub
+ * before the producer and close a genuine cycle).
+ *
+ * The result is serializable (edges flow feeder -> producers -> hub ->
+ * consumers) unless violation_at_end appends a 2-transaction ring.
+ *
+ * Thread layout: 0 = hub, 1 = feeder, 2..1+producers = producers, then
+ * consumers.
+ */
+Trace make_star(const StarOptions& opts);
+
+/** Disjoint-variable workload: `threads` threads, `txns` transactions
+ *  each, `accesses` read/write events per transaction, all thread-local. */
+Trace make_independent(uint32_t threads, uint32_t txns, uint32_t accesses);
+
+/** One writer publishes x; `threads`-1 readers read it `rounds` times in
+ *  small transactions. Serializable. */
+Trace make_reader_mesh(uint32_t threads, uint32_t rounds);
+
+/** Parameters for the naive-specification workload (Table 2 regime). */
+struct NaiveSpecOptions {
+    uint32_t threads = 4;
+    uint32_t events_per_thread = 10000;
+    uint32_t shared_vars = 64;
+    uint32_t private_vars_per_thread = 64;
+    /** Fraction of accesses that touch shared variables. */
+    double shared_fraction = 0.05;
+    /** Fraction of accesses that are writes. */
+    double write_fraction = 0.3;
+    uint64_t seed = 1;
+    /** Interleaving chunk: events run per thread before switching. */
+    uint32_t chunk = 16;
+    /**
+     * Fraction of the trace after which shared accesses start. Until that
+     * point every thread works on private variables, so the cycle between
+     * the whole-thread transactions closes in the trace's tail — the
+     * measured runtimes then reflect per-event throughput over the whole
+     * prefix while Velodrome's graph still never exceeds #threads nodes
+     * (the paper's Table 2 regime).
+     */
+    double conflict_position = 0.0;
+};
+
+/**
+ * Whole-thread transactions with light shared traffic: with >= 2 threads
+ * writing shared variables, a cycle between the mega-transactions closes
+ * within the first few chunks — the paper's "violation detected early in
+ * the trace" regime where Velodrome's graph stays tiny.
+ */
+Trace make_naive_spec(const NaiveSpecOptions& opts);
+
+/** Dining philosophers with global lock order (deadlock-free variant),
+ *  matching the paper's `philo` benchmark scale: tiny and serializable. */
+Trace make_philosophers(uint32_t philosophers, uint32_t meals);
+
+/** Parameters for the fork/join divide-and-conquer workload. */
+struct ForkJoinTreeOptions {
+    /** Tree depth; the workload uses 2^depth - 1 threads. */
+    uint32_t depth = 3;
+    /** Transactions each leaf runs on its private variable. */
+    uint32_t leaf_txns = 8;
+    /** Parent reads children's results inside a transaction after
+     *  joining them (serializable), or *before* joining while they may
+     *  still be writing — racing the combine step and closing a cycle
+     *  under this generator's schedule. */
+    bool combine_before_join = false;
+};
+
+/**
+ * Divide-and-conquer fork/join tree: every internal node forks two
+ * children, the children compute into private accumulators, and the
+ * parent combines their results. Exercises the fork/join clock paths and
+ * Algorithm 3's "parent transaction alive" GC test at depth. The
+ * combine_before_join variant makes the parent's combining transaction
+ * read a child's accumulator between the child's writes, which orders
+ * the two transactions both ways — a violation.
+ */
+Trace make_fork_join_tree(const ForkJoinTreeOptions& opts);
+
+} // namespace aero::gen

@@ -1,0 +1,75 @@
+#include "gen/random_program.hpp"
+
+#include "support/rng.hpp"
+
+namespace aero::gen {
+
+sim::Program
+make_random_program(const RandomProgramOptions& opts)
+{
+    Rng rng(opts.seed);
+    sim::Program prog;
+    prog.threads.resize(opts.threads);
+
+    auto emit_accesses = [&](sim::ThreadProgram& th, uint32_t count) {
+        for (uint32_t i = 0; i < count; ++i) {
+            uint32_t x =
+                static_cast<uint32_t>(rng.next_below(opts.shared_vars));
+            if (rng.next_bool(opts.write_fraction))
+                th.write(x);
+            else
+                th.read(x);
+        }
+    };
+
+    for (uint32_t t = 0; t < opts.threads; ++t) {
+        sim::ThreadProgram& th = prog.threads[t];
+        uint32_t budget = opts.steps_per_thread;
+        while (budget > 0) {
+            uint32_t block =
+                1 + static_cast<uint32_t>(rng.next_geometric(0.6, 6));
+            block = std::min(block, budget);
+            budget -= block;
+
+            bool in_txn = rng.next_bool(opts.txn_probability);
+            bool locked = rng.next_bool(opts.lock_probability);
+            bool nested = in_txn && rng.next_bool(opts.nest_probability);
+            uint32_t l =
+                static_cast<uint32_t>(rng.next_below(opts.locks));
+
+            if (in_txn)
+                th.begin();
+            if (locked)
+                th.acquire(l);
+            if (nested)
+                th.begin();
+            emit_accesses(th, block);
+            if (nested)
+                th.end();
+            if (rng.next_bool(0.3))
+                th.compute();
+            if (locked)
+                th.release(l);
+            if (in_txn)
+                th.end();
+        }
+    }
+
+    if (opts.fork_join && opts.threads > 1) {
+        // Thread 0 forks every other thread up front and joins a random
+        // subset at its end, in a fresh statement list prepended/appended.
+        sim::ThreadProgram main;
+        for (uint32_t t = 1; t < opts.threads; ++t)
+            main.fork(t);
+        for (const sim::Stmt& s : prog.threads[0].stmts)
+            main.stmts.push_back(s);
+        for (uint32_t t = 1; t < opts.threads; ++t) {
+            if (rng.next_bool(0.7))
+                main.join(t);
+        }
+        prog.threads[0] = std::move(main);
+    }
+    return prog;
+}
+
+} // namespace aero::gen

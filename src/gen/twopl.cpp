@@ -1,0 +1,76 @@
+#include "gen/twopl.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace aero::gen {
+
+sim::Program
+make_twopl_program(const TwoPlOptions& opts)
+{
+    Rng rng(opts.seed);
+    sim::Program prog;
+    prog.threads.resize(opts.threads);
+
+    // Private variables live above the shared range.
+    auto private_var = [&](uint32_t t, uint32_t i) {
+        return opts.shared_vars + t * 8 + (i % 8);
+    };
+
+    for (uint32_t t = 0; t < opts.threads; ++t) {
+        sim::ThreadProgram& th = prog.threads[t];
+        for (uint32_t j = 0; j < opts.txns_per_thread; ++j) {
+            // Choose distinct variables for this transaction.
+            uint32_t k = std::min(opts.vars_per_txn, opts.shared_vars);
+            std::vector<uint32_t> vars;
+            while (vars.size() < k) {
+                uint32_t x = static_cast<uint32_t>(
+                    rng.next_below(opts.shared_vars));
+                if (std::find(vars.begin(), vars.end(), x) == vars.end())
+                    vars.push_back(x);
+            }
+            // Locks guarding them, deduplicated, ascending order.
+            std::vector<uint32_t> locks;
+            for (uint32_t x : vars) {
+                uint32_t l = x % opts.locks;
+                if (std::find(locks.begin(), locks.end(), l) ==
+                    locks.end()) {
+                    locks.push_back(l);
+                }
+            }
+            std::sort(locks.begin(), locks.end());
+
+            th.begin();
+            for (uint32_t l : locks)
+                th.acquire(l);
+            for (uint32_t a = 0; a < opts.accesses_per_var; ++a) {
+                for (uint32_t x : vars) {
+                    if (rng.next_bool(opts.write_fraction))
+                        th.write(x);
+                    else
+                        th.read(x);
+                }
+            }
+            // Strict 2PL: release only after all accesses, just before
+            // the transaction end.
+            for (auto it = locks.rbegin(); it != locks.rend(); ++it)
+                th.release(*it);
+            th.end();
+
+            // Thread-local unary accesses between transactions: they form
+            // unary transactions but conflict with nothing foreign.
+            for (uint32_t i = 0; i < opts.private_accesses_between_txns;
+                 ++i) {
+                if (rng.next_bool(0.5))
+                    th.write(private_var(t, i));
+                else
+                    th.read(private_var(t, i));
+            }
+        }
+    }
+    return prog;
+}
+
+} // namespace aero::gen

@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Strict two-phase-locking workload generator.
+ *
+ * Every transaction chooses a set of shared variables, acquires the locks
+ * guarding them in ascending lock order (deadlock freedom), performs its
+ * reads/writes, and releases everything at the end (strictness). Every
+ * cross-transaction conflict — data, lock, or program order — then points
+ * from an earlier-committing to a later-committing transaction, so the
+ * transaction graph is acyclic and the generated trace is *conflict
+ * serializable by construction*. This is the soundness stressor: every
+ * checker must report "no violation" on any schedule of these programs.
+ */
+
+#include <cstdint>
+
+#include "sim/program.hpp"
+
+namespace aero::gen {
+
+/** Shape parameters for the 2PL generator. */
+struct TwoPlOptions {
+    uint32_t threads = 4;
+    uint32_t txns_per_thread = 50;
+    uint32_t shared_vars = 16;
+    /** Number of locks; variable x is guarded by lock x % locks. */
+    uint32_t locks = 4;
+    /** Variables accessed per transaction (capped by shared_vars). */
+    uint32_t vars_per_txn = 3;
+    /** Reads+writes per chosen variable. */
+    uint32_t accesses_per_var = 2;
+    double write_fraction = 0.5;
+    /** Thread-local unary accesses between transactions. */
+    uint32_t private_accesses_between_txns = 2;
+    uint64_t seed = 1;
+};
+
+/** Build a strict-2PL program (serializable under every schedule). */
+sim::Program make_twopl_program(const TwoPlOptions& opts);
+
+} // namespace aero::gen

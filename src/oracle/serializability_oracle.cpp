@@ -1,0 +1,349 @@
+#include "oracle/serializability_oracle.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/txn_tracker.hpp"
+#include "support/assert.hpp"
+
+namespace aero {
+
+namespace {
+
+constexpr uint32_t kNone = UINT32_MAX;
+
+/** Transaction graph under construction. */
+class TxnGraph {
+public:
+    uint32_t
+    new_node(bool completed)
+    {
+        adj_.emplace_back();
+        completed_.push_back(completed);
+        return static_cast<uint32_t>(adj_.size() - 1);
+    }
+
+    void
+    mark_completed(uint32_t n)
+    {
+        completed_[n] = true;
+    }
+
+    /** Add edge a->b; self-loops and duplicates are dropped. */
+    void
+    add_edge(uint32_t a, uint32_t b)
+    {
+        if (a == kNone || b == kNone || a == b)
+            return;
+        uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+        if (edge_set_.insert(key).second)
+            adj_[a].push_back(b);
+    }
+
+    size_t size() const { return adj_.size(); }
+    uint64_t num_edges() const { return edge_set_.size(); }
+    const std::vector<uint32_t>& succ(uint32_t n) const { return adj_[n]; }
+    bool completed(uint32_t n) const { return completed_[n]; }
+
+private:
+    std::vector<std::vector<uint32_t>> adj_;
+    std::vector<bool> completed_;
+    std::unordered_set<uint64_t> edge_set_;
+};
+
+/** Iterative Tarjan SCC; returns component id per node. */
+class TarjanScc {
+public:
+    explicit TarjanScc(const TxnGraph& g) : g_(g) {}
+
+    /** Run and return (component id per node, number of components). */
+    std::pair<std::vector<uint32_t>, uint32_t>
+    run()
+    {
+        size_t n = g_.size();
+        index_.assign(n, kNone);
+        lowlink_.assign(n, 0);
+        on_stack_.assign(n, false);
+        comp_.assign(n, kNone);
+        for (uint32_t v = 0; v < n; ++v) {
+            if (index_[v] == kNone)
+                strongconnect(v);
+        }
+        return {std::move(comp_), num_comps_};
+    }
+
+private:
+    struct Frame {
+        uint32_t v;
+        size_t child;
+    };
+
+    void
+    strongconnect(uint32_t root)
+    {
+        std::vector<Frame> stack{{root, 0}};
+        while (!stack.empty()) {
+            Frame& f = stack.back();
+            uint32_t v = f.v;
+            if (f.child == 0) {
+                index_[v] = lowlink_[v] = next_index_++;
+                scc_stack_.push_back(v);
+                on_stack_[v] = true;
+            }
+            const auto& succ = g_.succ(v);
+            if (f.child < succ.size()) {
+                uint32_t w = succ[f.child++];
+                if (index_[w] == kNone) {
+                    stack.push_back({w, 0});
+                } else if (on_stack_[w]) {
+                    lowlink_[v] = std::min(lowlink_[v], index_[w]);
+                }
+            } else {
+                if (lowlink_[v] == index_[v]) {
+                    uint32_t c = num_comps_++;
+                    for (;;) {
+                        uint32_t w = scc_stack_.back();
+                        scc_stack_.pop_back();
+                        on_stack_[w] = false;
+                        comp_[w] = c;
+                        if (w == v)
+                            break;
+                    }
+                }
+                stack.pop_back();
+                if (!stack.empty()) {
+                    uint32_t parent = stack.back().v;
+                    lowlink_[parent] =
+                        std::min(lowlink_[parent], lowlink_[v]);
+                }
+            }
+        }
+    }
+
+    const TxnGraph& g_;
+    std::vector<uint32_t> index_;
+    std::vector<uint32_t> lowlink_;
+    std::vector<bool> on_stack_;
+    std::vector<uint32_t> comp_;
+    std::vector<uint32_t> scc_stack_;
+    uint32_t next_index_ = 0;
+    uint32_t num_comps_ = 0;
+};
+
+/**
+ * Check whether a cycle exists in the subgraph induced by completed nodes
+ * plus (optionally) one open node `open_node` (kNone for completed-only).
+ * Restricting the search to one SCC keeps it cheap.
+ */
+bool
+cycle_with_at_most_one_open(const TxnGraph& g,
+                            const std::vector<uint32_t>& comp,
+                            uint32_t target_comp, uint32_t open_node)
+{
+    // DFS cycle detection (colors: 0 white, 1 grey, 2 black) over nodes of
+    // `target_comp` that are completed or equal to open_node.
+    std::vector<uint8_t> color(g.size(), 0);
+    auto eligible = [&](uint32_t v) {
+        return comp[v] == target_comp &&
+               (g.completed(v) || v == open_node);
+    };
+    for (uint32_t start = 0; start < g.size(); ++start) {
+        if (!eligible(start) || color[start] != 0)
+            continue;
+        std::vector<std::pair<uint32_t, size_t>> stack{{start, 0}};
+        color[start] = 1;
+        while (!stack.empty()) {
+            auto& [v, child] = stack.back();
+            const auto& succ = g.succ(v);
+            bool descended = false;
+            while (child < succ.size()) {
+                uint32_t w = succ[child++];
+                if (!eligible(w))
+                    continue;
+                if (color[w] == 1)
+                    return true; // back edge: cycle
+                if (color[w] == 0) {
+                    color[w] = 1;
+                    stack.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended && child >= succ.size()) {
+                color[v] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+OracleResult
+check_serializability(const Trace& trace, const OracleOptions& opts)
+{
+    const uint32_t nt = trace.num_threads();
+    const uint32_t nv = trace.num_vars();
+    const uint32_t nl = trace.num_locks();
+
+    TxnGraph graph;
+    TxnTracker txns(nt);
+
+    OracleResult result;
+    size_t current_index = 0;
+    auto record_node = [&](uint32_t n, ThreadId t, bool unary) {
+        if (!opts.collect_txn_info)
+            return;
+        if (n >= result.txn_info.size())
+            result.txn_info.resize(n + 1);
+        TxnInfo& info = result.txn_info[n];
+        info.thread = t;
+        info.first_event = current_index;
+        info.last_event = current_index;
+        info.unary = unary;
+        info.completed = unary;
+    };
+    auto record_touch = [&](uint32_t n, bool completed) {
+        if (!opts.collect_txn_info || n >= result.txn_info.size())
+            return;
+        result.txn_info[n].last_event = current_index;
+        if (completed)
+            result.txn_info[n].completed = true;
+    };
+
+    // Current node of each thread (kNone when between transactions).
+    std::vector<uint32_t> cur(nt, kNone);
+    // Most recent node of each thread (for program-order chaining and join).
+    std::vector<uint32_t> last(nt, kNone);
+    // Conflict sources.
+    std::vector<uint32_t> last_write(nv, kNone);
+    std::vector<uint32_t> last_rel(nl, kNone);
+    // last_read[x * nt + t]: node of thread t's last read of x.
+    std::vector<uint32_t> last_read(static_cast<size_t>(nv) * nt, kNone);
+
+    // Returns the node for an event of thread t, materializing a unary
+    // transaction when t has no open block. Adds the program-order edge.
+    auto node_for_event = [&](ThreadId t) -> uint32_t {
+        uint32_t n = cur[t];
+        if (n == kNone) {
+            n = graph.new_node(/*completed=*/true); // unary: instantly done
+            graph.add_edge(last[t], n);
+            last[t] = n;
+            record_node(n, t, /*unary=*/true);
+        } else {
+            record_touch(n, /*completed=*/false);
+        }
+        return n;
+    };
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const Event& e = trace[i];
+        const ThreadId t = e.tid;
+        current_index = i;
+        switch (e.op) {
+          case Op::kBegin:
+            if (txns.on_begin(t)) {
+                uint32_t n = graph.new_node(/*completed=*/false);
+                graph.add_edge(last[t], n);
+                cur[t] = n;
+                last[t] = n;
+                record_node(n, t, /*unary=*/false);
+            }
+            break;
+          case Op::kEnd:
+            if (txns.on_end(t)) {
+                record_touch(cur[t], /*completed=*/true);
+                graph.mark_completed(cur[t]);
+                cur[t] = kNone;
+            }
+            break;
+          case Op::kRead: {
+            uint32_t n = node_for_event(t);
+            graph.add_edge(last_write[e.target], n);
+            last_read[static_cast<size_t>(e.target) * nt + t] = n;
+            break;
+          }
+          case Op::kWrite: {
+            uint32_t n = node_for_event(t);
+            graph.add_edge(last_write[e.target], n);
+            for (uint32_t u = 0; u < nt; ++u) {
+                graph.add_edge(
+                    last_read[static_cast<size_t>(e.target) * nt + u], n);
+            }
+            last_write[e.target] = n;
+            break;
+          }
+          case Op::kAcquire: {
+            uint32_t n = node_for_event(t);
+            graph.add_edge(last_rel[e.target], n);
+            break;
+          }
+          case Op::kRelease: {
+            uint32_t n = node_for_event(t);
+            last_rel[e.target] = n;
+            break;
+          }
+          case Op::kFork: {
+            uint32_t n = node_for_event(t);
+            // The fork event conflicts with every event of the child; the
+            // edge to the child's first node suffices because the child's
+            // later nodes are chained in program order.
+            ThreadId u = e.target;
+            AERO_ASSERT(u < nt, "fork target out of range");
+            // Record as the child's "previous node" so the child's first
+            // node picks up the edge.
+            if (last[u] == kNone)
+                last[u] = n;
+            break;
+          }
+          case Op::kJoin: {
+            uint32_t n = node_for_event(t);
+            ThreadId u = e.target;
+            AERO_ASSERT(u < nt, "join target out of range");
+            graph.add_edge(last[u], n);
+            break;
+          }
+        }
+    }
+
+    result.num_transactions = graph.size();
+    result.num_edges = graph.num_edges();
+
+    auto [comp, num_comps] = TarjanScc(graph).run();
+    std::vector<uint32_t> comp_size(num_comps, 0);
+    for (uint32_t v = 0; v < graph.size(); ++v)
+        ++comp_size[comp[v]];
+
+    std::vector<bool> comp_checked(num_comps, false);
+    for (uint32_t v = 0;
+         v < graph.size() && !result.detectable_with_one_open; ++v) {
+        uint32_t c = comp[v];
+        if (comp_size[c] < 2 || comp_checked[c])
+            continue;
+        comp_checked[c] = true;
+        if (result.serializable) {
+            result.serializable = false;
+            for (uint32_t w = 0; w < graph.size(); ++w) {
+                if (comp[w] == c)
+                    result.witness_scc.push_back(w);
+            }
+        }
+        // Completed-only cycle?
+        if (cycle_with_at_most_one_open(graph, comp, c, kNone)) {
+            result.detectable_with_one_open = true;
+            break;
+        }
+        // Otherwise try each open node of this SCC as the single open one.
+        for (uint32_t w = 0; w < graph.size(); ++w) {
+            if (comp[w] == c && !graph.completed(w) &&
+                cycle_with_at_most_one_open(graph, comp, c, w)) {
+                result.detectable_with_one_open = true;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace aero

@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file
+ * Offline reference decision procedure for conflict serializability
+ * (Definition 1 of the paper), used as the ground-truth oracle in tests.
+ *
+ * Construction: assign every event to a transaction (outermost atomic
+ * blocks; each event outside a block is its own *unary* transaction,
+ * Section 4.1.4), add a directed edge T -> T' for every *direct* conflict
+ * between an event of T and a later event of T' (program order, w/w, w/r,
+ * r/w on a variable, rel->acq on a lock, fork/join), and decide.
+ *
+ * Because conflict-happens-before is the transitive closure of direct
+ * conflicts, T <Txn T' holds exactly when T' is reachable from T in this
+ * graph; a witness T0 < T1 < ... < T0 with k > 1 distinct transactions
+ * exists exactly when some strongly connected component contains >= 2
+ * transactions. Tarjan's algorithm decides this in linear time, and direct
+ * conflicts only require the *last* writer / last readers-per-thread /
+ * last releaser because older conflicts are subsumed transitively through
+ * the per-thread program-order chain.
+ *
+ * The oracle decides Definition 1 exactly. It additionally reports whether
+ * a witness exists in which all transactions except possibly one are
+ * completed — the precise class AeroDrome detects (Theorem 3) — so tests
+ * can assert both the exact semantics and the online algorithms' contract.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace aero {
+
+/** Source-level description of one transaction-graph node. */
+struct TxnInfo {
+    ThreadId thread = kNoThread;
+    /** Trace index of the node's first event (the begin, for block
+     *  transactions; the event itself, for unary ones). */
+    size_t first_event = 0;
+    /** Trace index of the node's last event seen (the end event once the
+     *  transaction completes). */
+    size_t last_event = 0;
+    /** True for single-event (unary) transactions. */
+    bool unary = false;
+    /** True if the transaction completed within the trace. */
+    bool completed = false;
+};
+
+/** Result of the offline serializability decision. */
+struct OracleResult {
+    /** True iff the trace is conflict serializable (Definition 1). */
+    bool serializable = true;
+    /**
+     * True iff a witness cycle exists whose transactions are all completed
+     * except possibly one (the class of violations AeroDrome reports per
+     * Theorem 3). Implies !serializable.
+     */
+    bool detectable_with_one_open = false;
+    /** Number of transaction-graph nodes (incl. unary transactions). */
+    uint64_t num_transactions = 0;
+    /** Number of distinct edges. */
+    uint64_t num_edges = 0;
+    /** When not serializable: node ids of one offending SCC. */
+    std::vector<uint32_t> witness_scc;
+    /** Populated when OracleOptions::collect_txn_info: node -> source
+     *  description, usable to render the witness cycle. */
+    std::vector<TxnInfo> txn_info;
+};
+
+/** Options for the oracle. */
+struct OracleOptions {
+    /** Record per-node thread/event-range info (costs O(#transactions)
+     *  memory; used for witness reporting). */
+    bool collect_txn_info = false;
+};
+
+/** Decide conflict serializability of `trace`. */
+OracleResult check_serializability(const Trace& trace,
+                                   const OracleOptions& opts = {});
+
+} // namespace aero

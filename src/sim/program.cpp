@@ -1,0 +1,60 @@
+#include "sim/program.hpp"
+
+#include "support/assert.hpp"
+
+namespace aero::sim {
+
+ThreadProgram&
+Program::thread(uint32_t t)
+{
+    if (t >= threads.size())
+        threads.resize(t + 1);
+    return threads[t];
+}
+
+size_t
+Program::total_statements() const
+{
+    size_t n = 0;
+    for (const auto& th : threads)
+        n += th.stmts.size();
+    return n;
+}
+
+std::vector<bool>
+Program::fork_targets() const
+{
+    std::vector<bool> targets(threads.size(), false);
+    for (const auto& th : threads) {
+        for (const Stmt& s : th.stmts) {
+            if (s.kind == StmtKind::kFork && s.arg < threads.size())
+                targets[s.arg] = true;
+        }
+    }
+    return targets;
+}
+
+void
+Program::validate() const
+{
+    std::vector<uint32_t> fork_count(threads.size(), 0);
+    for (uint32_t t = 0; t < threads.size(); ++t) {
+        for (const Stmt& s : threads[t].stmts) {
+            if (s.kind == StmtKind::kFork) {
+                if (s.arg >= threads.size())
+                    fatal("fork target out of range");
+                if (s.arg == t)
+                    fatal("thread forks itself");
+                if (++fork_count[s.arg] > 1)
+                    fatal("thread forked more than once");
+            } else if (s.kind == StmtKind::kJoin) {
+                if (s.arg >= threads.size())
+                    fatal("join target out of range");
+                if (s.arg == t)
+                    fatal("thread joins itself");
+            }
+        }
+    }
+}
+
+} // namespace aero::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * A miniature concurrent-program model.
+ *
+ * The paper generates traces by instrumenting Java programs with
+ * RoadRunner. We replace that substrate with a simulator: a *program* is a
+ * set of per-thread statement lists over shared variables and locks, plus
+ * fork/join structure and atomic-block markers; a *scheduler*
+ * (scheduler.hpp) interleaves the threads and emits the resulting
+ * well-formed trace. Different seeds/policies give different interleavings
+ * of the same program, which is how the examples explore atomicity
+ * violations that only manifest under particular schedules.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace aero::sim {
+
+/** Statement kinds executed by simulated threads. */
+enum class StmtKind : uint8_t {
+    kRead,    ///< read shared variable `arg`
+    kWrite,   ///< write shared variable `arg`
+    kAcquire, ///< acquire lock `arg` (blocks while held elsewhere)
+    kRelease, ///< release lock `arg`
+    kBegin,   ///< begin an atomic block
+    kEnd,     ///< end an atomic block
+    kFork,    ///< start thread `arg`
+    kJoin,    ///< wait for thread `arg` to finish (blocks)
+    kCompute, ///< local work: consumes a step, emits no event
+};
+
+/** One statement. `arg` is a var, lock, or thread index per kind. */
+struct Stmt {
+    StmtKind kind;
+    uint32_t arg = 0;
+};
+
+/** The statement list of one simulated thread. */
+struct ThreadProgram {
+    std::vector<Stmt> stmts;
+
+    void read(uint32_t x) { stmts.push_back({StmtKind::kRead, x}); }
+    void write(uint32_t x) { stmts.push_back({StmtKind::kWrite, x}); }
+    void acquire(uint32_t l) { stmts.push_back({StmtKind::kAcquire, l}); }
+    void release(uint32_t l) { stmts.push_back({StmtKind::kRelease, l}); }
+    void begin() { stmts.push_back({StmtKind::kBegin, 0}); }
+    void end() { stmts.push_back({StmtKind::kEnd, 0}); }
+    void fork(uint32_t u) { stmts.push_back({StmtKind::kFork, u}); }
+    void join(uint32_t u) { stmts.push_back({StmtKind::kJoin, u}); }
+    void compute() { stmts.push_back({StmtKind::kCompute, 0}); }
+};
+
+/**
+ * A complete program. Threads that are the target of some fork statement
+ * start blocked until forked; all others are runnable from the start.
+ */
+struct Program {
+    std::vector<ThreadProgram> threads;
+
+    /** Thread program for index t, growing the program as needed. */
+    ThreadProgram& thread(uint32_t t);
+
+    /** Total statement count across threads. */
+    size_t total_statements() const;
+
+    /** Set of thread indices that appear as fork targets. */
+    std::vector<bool> fork_targets() const;
+
+    /**
+     * Static sanity check: fork targets exist, a thread is forked at most
+     * once, no thread forks itself. Throws FatalError on violation.
+     */
+    void validate() const;
+};
+
+} // namespace aero::sim

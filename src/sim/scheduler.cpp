@@ -1,0 +1,160 @@
+#include "sim/scheduler.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace aero::sim {
+
+namespace {
+
+/** Mutable execution state of one simulated thread. */
+struct ThreadState {
+    size_t pc = 0;
+    bool started = false;  // runnable (main-like or already forked)
+    bool finished = false; // ran out of statements
+};
+
+} // namespace
+
+SimResult
+run_program(const Program& program, const SchedulerOptions& opts)
+{
+    program.validate();
+    SimResult result;
+    Rng rng(opts.seed);
+
+    const uint32_t nt = static_cast<uint32_t>(program.threads.size());
+    std::vector<ThreadState> ts(nt);
+    std::vector<uint32_t> lock_holder; // per lock, kNoThread when free
+
+    // Threads never forked are runnable from the start.
+    std::vector<bool> forked = program.fork_targets();
+    for (uint32_t t = 0; t < nt; ++t) {
+        ts[t].started = !forked[t];
+        ts[t].finished = program.threads[t].stmts.empty();
+    }
+
+    auto lock_free_or_mine = [&](uint32_t l, uint32_t t) {
+        if (l >= lock_holder.size())
+            lock_holder.resize(l + 1, kNoThread);
+        return lock_holder[l] == kNoThread || lock_holder[l] == t;
+    };
+
+    // A thread is runnable when it has started, has statements left, and
+    // its *next* statement would not block (lock held elsewhere, join of
+    // an unfinished thread).
+    auto runnable = [&](uint32_t t) {
+        const ThreadState& s = ts[t];
+        if (!s.started || s.finished)
+            return false;
+        const Stmt& next = program.threads[t].stmts[s.pc];
+        if (next.kind == StmtKind::kAcquire &&
+            !lock_free_or_mine(next.arg, t)) {
+            return false;
+        }
+        if (next.kind == StmtKind::kJoin && !ts[next.arg].finished)
+            return false;
+        return true;
+    };
+
+    // Execute one (non-blocking) statement of thread t.
+    auto step = [&](uint32_t t) {
+        ThreadState& s = ts[t];
+        const Stmt& stmt = program.threads[t].stmts[s.pc];
+        switch (stmt.kind) {
+          case StmtKind::kAcquire:
+            AERO_ASSERT(lock_free_or_mine(stmt.arg, t),
+                        "scheduler picked a blocked thread");
+            lock_holder[stmt.arg] = t;
+            result.trace.acquire(t, stmt.arg);
+            break;
+          case StmtKind::kRelease:
+            AERO_ASSERT(stmt.arg < lock_holder.size() &&
+                            lock_holder[stmt.arg] == t,
+                        "program releases a lock it does not hold");
+            lock_holder[stmt.arg] = kNoThread;
+            result.trace.release(t, stmt.arg);
+            break;
+          case StmtKind::kJoin:
+            AERO_ASSERT(ts[stmt.arg].finished,
+                        "scheduler picked a blocked thread");
+            result.trace.join(t, stmt.arg);
+            break;
+          case StmtKind::kFork:
+            ts[stmt.arg].started = true;
+            result.trace.fork(t, stmt.arg);
+            break;
+          case StmtKind::kRead:
+            result.trace.read(t, stmt.arg);
+            break;
+          case StmtKind::kWrite:
+            result.trace.write(t, stmt.arg);
+            break;
+          case StmtKind::kBegin:
+            result.trace.begin(t);
+            break;
+          case StmtKind::kEnd:
+            result.trace.end(t);
+            break;
+          case StmtKind::kCompute:
+            break;
+        }
+        ++result.steps;
+        if (++s.pc >= program.threads[t].stmts.size())
+            s.finished = true;
+    };
+
+    uint32_t current = 0;
+    uint32_t budget = 0; // remaining quantum for round robin
+    std::vector<uint32_t> candidates;
+    for (;;) {
+        candidates.clear();
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (runnable(t))
+                candidates.push_back(t);
+        }
+        if (candidates.empty()) {
+            bool all_done = true;
+            for (uint32_t t = 0; t < nt; ++t)
+                all_done = all_done && ts[t].finished;
+            result.deadlocked = !all_done;
+            return result;
+        }
+
+        uint32_t pick;
+        switch (opts.policy) {
+          case Policy::kRoundRobin:
+            if (budget > 0 && runnable(current)) {
+                pick = current;
+            } else {
+                // Next runnable thread after `current` in cyclic order.
+                pick = candidates[0];
+                for (uint32_t c : candidates) {
+                    if (c > current) {
+                        pick = c;
+                        break;
+                    }
+                }
+                budget = opts.quantum;
+            }
+            break;
+          case Policy::kRandom:
+            pick = candidates[rng.next_below(candidates.size())];
+            break;
+          case Policy::kSticky:
+          default:
+            if (runnable(current) && rng.next_bool(opts.stickiness)) {
+                pick = current;
+            } else {
+                pick = candidates[rng.next_below(candidates.size())];
+            }
+            break;
+        }
+        current = pick;
+        if (budget > 0)
+            --budget;
+        step(pick);
+    }
+}
+
+} // namespace aero::sim

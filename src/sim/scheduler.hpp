@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Seeded interleaving scheduler for the program model.
+ *
+ * Executes a Program step by step, respecting lock blocking, fork/join
+ * ordering, and begin/end nesting, and emits the observed events as a
+ * well-formed Trace. Deterministic for a given (program, options) pair.
+ *
+ * Policies:
+ *  - kRoundRobin: cycle through runnable threads, `quantum` statements at
+ *    a time — a deterministic, fairness-heavy schedule.
+ *  - kRandom: pick a uniformly random runnable thread each step.
+ *  - kSticky: like kRandom, but keep running the current thread with
+ *    probability `stickiness` — models coarse OS scheduling quanta and
+ *    produces longer uninterrupted runs (fewer context switches).
+ */
+
+#include <cstdint>
+
+#include "sim/program.hpp"
+#include "trace/trace.hpp"
+
+namespace aero::sim {
+
+/** Scheduling policy. */
+enum class Policy : uint8_t {
+    kRoundRobin,
+    kRandom,
+    kSticky,
+};
+
+/** Scheduler configuration. */
+struct SchedulerOptions {
+    Policy policy = Policy::kRandom;
+    uint64_t seed = 1;
+    /** Statements per turn for round-robin. */
+    uint32_t quantum = 4;
+    /** Probability of staying on the current thread for kSticky. */
+    double stickiness = 0.9;
+};
+
+/** Outcome of a simulation. */
+struct SimResult {
+    Trace trace;
+    /** True if execution stopped with unrunnable, unfinished threads
+     *  (lock or join deadlock in the program). */
+    bool deadlocked = false;
+    /** Statements executed (including kCompute, which emits no event). */
+    uint64_t steps = 0;
+};
+
+/** Run `program` to completion (or deadlock) under `opts`. */
+SimResult run_program(const Program& program,
+                      const SchedulerOptions& opts = {});
+
+} // namespace aero::sim

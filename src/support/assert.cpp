@@ -1,0 +1,21 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aero {
+
+void
+panic(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+} // namespace aero

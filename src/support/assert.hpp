@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Failure handling in the spirit of gem5's panic()/fatal() split.
+ *
+ * - AERO_ASSERT / aero::panic: internal invariant broken (a bug in this
+ *   library). Aborts.
+ * - aero::fatal: the caller/user supplied an impossible input (malformed
+ *   trace, bad configuration). Throws aero::FatalError so library users and
+ *   tests can recover.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace aero {
+
+/** Error thrown when user-supplied input (trace, config) is invalid. */
+class FatalError : public std::runtime_error {
+public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Abort with a message; used for internal invariant violations. */
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+/** Throw FatalError; used for invalid user input. */
+[[noreturn]] void fatal(const std::string& msg);
+
+} // namespace aero
+
+#define AERO_ASSERT(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::aero::panic(__FILE__, __LINE__,                                \
+                          std::string("assertion failed: ") + #cond +       \
+                              " -- " + (msg));                               \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,109 @@
+#include "support/rng.hpp"
+
+#include "support/assert.hpp"
+
+namespace aero {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto& s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next_u64()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::next_below(uint64_t bound)
+{
+    AERO_ASSERT(bound > 0, "next_below requires positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next_u64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::next_range(int64_t lo, int64_t hi)
+{
+    AERO_ASSERT(lo <= hi, "next_range requires lo <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(next_below(span));
+}
+
+double
+Rng::next_double()
+{
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::next_bool(double p)
+{
+    return next_double() < p;
+}
+
+size_t
+Rng::next_weighted(const std::vector<double>& weights)
+{
+    double total = 0;
+    for (double w : weights) {
+        AERO_ASSERT(w >= 0, "weights must be non-negative");
+        total += w;
+    }
+    AERO_ASSERT(total > 0, "at least one weight must be positive");
+    double r = next_double() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+uint64_t
+Rng::next_geometric(double p, uint64_t cap)
+{
+    uint64_t n = 0;
+    while (n < cap && next_bool(p))
+        ++n;
+    return n;
+}
+
+} // namespace aero

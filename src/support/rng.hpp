@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Small, fast, reproducible pseudo-random number generation.
+ *
+ * All workload generators in this repository take an explicit seed and use
+ * this generator, so every trace and every benchmark run is reproducible
+ * bit-for-bit across platforms (unlike std::mt19937 + distribution objects,
+ * whose distributions are implementation-defined).
+ *
+ * The core generator is xoshiro256**, seeded via splitmix64.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aero {
+
+/** xoshiro256** PRNG with convenience sampling helpers. */
+class Rng {
+public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next_u64();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t next_below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t next_range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double next_double();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool next_bool(double p = 0.5);
+
+    /**
+     * Sample an index from a discrete distribution given by non-negative
+     * weights. At least one weight must be positive.
+     */
+    size_t next_weighted(const std::vector<double>& weights);
+
+    /** Fisher-Yates shuffle of an index vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(next_below(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /**
+     * Geometric-ish sample: number of trials until failure with continue
+     * probability p, capped at `cap`. Used for transaction length draws.
+     */
+    uint64_t next_geometric(double p, uint64_t cap);
+
+private:
+    uint64_t s_[4];
+};
+
+} // namespace aero

@@ -1,0 +1,25 @@
+#include "support/stopwatch.hpp"
+
+namespace aero {
+
+void
+Stopwatch::reset()
+{
+    start_ = std::chrono::steady_clock::now();
+}
+
+double
+Stopwatch::elapsed_seconds()  const
+{
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+}
+
+uint64_t
+Stopwatch::elapsed_ns() const
+{
+    auto d = std::chrono::steady_clock::now() - start_;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+} // namespace aero

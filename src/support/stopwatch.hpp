@@ -1,0 +1,31 @@
+#pragma once
+
+/**
+ * @file
+ * Wall-clock stopwatch used by the analysis harness to time checker runs
+ * and enforce the paper's timeout ("TO") semantics.
+ */
+
+#include <chrono>
+
+namespace aero {
+
+/** Monotonic wall-clock stopwatch. */
+class Stopwatch {
+public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from now. */
+    void reset();
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double elapsed_seconds() const;
+
+    /** Nanoseconds elapsed since construction or the last reset(). */
+    uint64_t elapsed_ns() const;
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace aero

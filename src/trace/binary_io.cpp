@@ -1,0 +1,142 @@
+#include "trace/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace aero {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'E', 'R', 'O', 'T', 'R', 'C', '1'};
+
+void
+put_varint(std::ostream& os, uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+uint64_t
+get_varint(std::istream& is)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        int c = is.get();
+        if (c == EOF)
+            fatal("binary trace truncated inside a varint");
+        v |= static_cast<uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 63)
+            fatal("binary trace varint too long");
+    }
+}
+
+template <typename T>
+void
+put_raw(std::ostream& os, T v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+get_raw(std::istream& is)
+{
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is)
+        fatal("binary trace truncated in header");
+    return v;
+}
+
+bool
+op_has_target(Op op)
+{
+    return !(op == Op::kBegin || op == Op::kEnd);
+}
+
+} // namespace
+
+void
+write_binary(std::ostream& os, const Trace& trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put_raw<uint64_t>(os, trace.size());
+    put_raw<uint32_t>(os, trace.num_threads());
+    put_raw<uint32_t>(os, trace.num_vars());
+    put_raw<uint32_t>(os, trace.num_locks());
+    for (const Event& e : trace.events()) {
+        os.put(static_cast<char>(e.op));
+        put_varint(os, e.tid);
+        if (op_has_target(e.op))
+            put_varint(os, e.target);
+    }
+}
+
+void
+write_binary_file(const std::string& path, const Trace& trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open file for writing: " + path);
+    write_binary(os, trace);
+    if (!os)
+        fatal("error while writing: " + path);
+}
+
+Trace
+read_binary(std::istream& is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(magic)) != 0)
+        fatal("not an aerodrome binary trace (bad magic)");
+
+    uint64_t count = get_raw<uint64_t>(is);
+    uint32_t nt = get_raw<uint32_t>(is);
+    uint32_t nv = get_raw<uint32_t>(is);
+    uint32_t nl = get_raw<uint32_t>(is);
+
+    Trace trace;
+    trace.reserve(count);
+    trace.threads().ensure(nt);
+    trace.vars().ensure(nv);
+    trace.locks().ensure(nl);
+
+    for (uint64_t i = 0; i < count; ++i) {
+        int opb = is.get();
+        if (opb == EOF)
+            fatal("binary trace truncated at event " + std::to_string(i));
+        if (opb < 0 || opb >= static_cast<int>(kNumOps))
+            fatal("binary trace has invalid opcode " + std::to_string(opb));
+        Op op = static_cast<Op>(opb);
+        uint64_t tid = get_varint(is);
+        uint64_t target = op_has_target(op) ? get_varint(is) : 0;
+        if (tid > UINT32_MAX || target > UINT32_MAX)
+            fatal("binary trace id out of range");
+        trace.push({static_cast<ThreadId>(tid),
+                    static_cast<uint32_t>(target), op});
+    }
+    return trace;
+}
+
+Trace
+read_binary_file(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open file for reading: " + path);
+    return read_binary(is);
+}
+
+} // namespace aero

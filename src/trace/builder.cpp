@@ -1,0 +1,63 @@
+#include "trace/builder.hpp"
+
+namespace aero {
+
+TraceBuilder&
+TraceBuilder::read(std::string_view t, std::string_view x)
+{
+    trace_.read(tid(t), trace_.vars().intern(x));
+    return *this;
+}
+
+TraceBuilder&
+TraceBuilder::write(std::string_view t, std::string_view x)
+{
+    trace_.write(tid(t), trace_.vars().intern(x));
+    return *this;
+}
+
+TraceBuilder&
+TraceBuilder::acquire(std::string_view t, std::string_view l)
+{
+    trace_.acquire(tid(t), trace_.locks().intern(l));
+    return *this;
+}
+
+TraceBuilder&
+TraceBuilder::release(std::string_view t, std::string_view l)
+{
+    trace_.release(tid(t), trace_.locks().intern(l));
+    return *this;
+}
+
+TraceBuilder&
+TraceBuilder::fork(std::string_view t, std::string_view u)
+{
+    ThreadId parent = tid(t);
+    trace_.fork(parent, tid(u));
+    return *this;
+}
+
+TraceBuilder&
+TraceBuilder::join(std::string_view t, std::string_view u)
+{
+    ThreadId parent = tid(t);
+    trace_.join(parent, tid(u));
+    return *this;
+}
+
+TraceBuilder&
+TraceBuilder::begin(std::string_view t)
+{
+    trace_.begin(tid(t));
+    return *this;
+}
+
+TraceBuilder&
+TraceBuilder::end(std::string_view t)
+{
+    trace_.end(tid(t));
+    return *this;
+}
+
+} // namespace aero

@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Fluent, name-based trace construction for tests and examples.
+ *
+ * Mirrors the paper's trace notation closely, e.g. trace rho_2 (Figure 2):
+ *
+ *   TraceBuilder b;
+ *   b.begin("t1").begin("t2")
+ *    .write("t1", "x").read("t2", "x")
+ *    .write("t2", "y").read("t1", "y")
+ *    .end("t2").end("t1");
+ *   Trace t = b.take();
+ */
+
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace aero {
+
+/** Builds a Trace from human-readable thread/var/lock names. */
+class TraceBuilder {
+public:
+    TraceBuilder& read(std::string_view t, std::string_view x);
+    TraceBuilder& write(std::string_view t, std::string_view x);
+    TraceBuilder& acquire(std::string_view t, std::string_view l);
+    TraceBuilder& release(std::string_view t, std::string_view l);
+    TraceBuilder& fork(std::string_view t, std::string_view u);
+    TraceBuilder& join(std::string_view t, std::string_view u);
+    TraceBuilder& begin(std::string_view t);
+    TraceBuilder& end(std::string_view t);
+
+    /** Access the trace under construction. */
+    const Trace& trace() const { return trace_; }
+
+    /** Move the finished trace out of the builder. */
+    Trace take() { return std::move(trace_); }
+
+private:
+    ThreadId tid(std::string_view t) { return trace_.threads().intern(t); }
+
+    Trace trace_;
+};
+
+} // namespace aero

@@ -1,0 +1,104 @@
+#pragma once
+
+/**
+ * @file
+ * The event model (paper, Section 2).
+ *
+ * An execution trace is a sequence of events e = <t, op> where op is one of
+ * r(x), w(x), acq(l), rel(l), fork(u), join(u), begin, end. Threads,
+ * variables and locks are identified by dense integer ids assigned by the
+ * trace container; all analysis state is indexed by these ids so the hot
+ * paths never hash strings.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace aero {
+
+/** Dense identifiers for the three kinds of objects a trace mentions. */
+using ThreadId = uint32_t;
+using VarId = uint32_t;
+using LockId = uint32_t;
+
+/** Sentinel for "no thread" (e.g. lastRelThr/lastWThr initial value). */
+inline constexpr ThreadId kNoThread = UINT32_MAX;
+
+/** Operation kinds, mirroring the paper's event alphabet. */
+enum class Op : uint8_t {
+    kRead,    ///< r(x): read of variable x
+    kWrite,   ///< w(x): write of variable x
+    kAcquire, ///< acq(l): lock acquire
+    kRelease, ///< rel(l): lock release
+    kFork,    ///< fork(u): spawn thread u
+    kJoin,    ///< join(u): join thread u
+    kBegin,   ///< |> : begin of an atomic block (transaction)
+    kEnd,     ///< <| : end of an atomic block
+};
+
+/** Number of distinct Op values. */
+inline constexpr size_t kNumOps = 8;
+
+/** Short mnemonic used in the text trace format and in logs. */
+constexpr std::string_view
+op_name(Op op)
+{
+    switch (op) {
+      case Op::kRead:
+        return "r";
+      case Op::kWrite:
+        return "w";
+      case Op::kAcquire:
+        return "acq";
+      case Op::kRelease:
+        return "rel";
+      case Op::kFork:
+        return "fork";
+      case Op::kJoin:
+        return "join";
+      case Op::kBegin:
+        return "begin";
+      case Op::kEnd:
+        return "end";
+    }
+    return "?";
+}
+
+/** True for ops whose target names a memory location. */
+constexpr bool
+op_targets_var(Op op)
+{
+    return op == Op::kRead || op == Op::kWrite;
+}
+
+/** True for ops whose target names a lock. */
+constexpr bool
+op_targets_lock(Op op)
+{
+    return op == Op::kAcquire || op == Op::kRelease;
+}
+
+/** True for ops whose target names another thread. */
+constexpr bool
+op_targets_thread(Op op)
+{
+    return op == Op::kFork || op == Op::kJoin;
+}
+
+/**
+ * One trace event. `target` is a VarId, LockId or ThreadId depending on
+ * `op`, and unused (0) for begin/end.
+ */
+struct Event {
+    ThreadId tid;    ///< performing thread
+    uint32_t target; ///< operand id, interpretation depends on op
+    Op op;           ///< operation kind
+
+    bool
+    operator==(const Event& other) const
+    {
+        return tid == other.tid && target == other.target && op == other.op;
+    }
+};
+
+} // namespace aero

@@ -1,0 +1,82 @@
+#include "trace/metainfo.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "support/str.hpp"
+
+namespace aero {
+
+MetaInfo
+compute_metainfo(const Trace& trace)
+{
+    MetaInfo info;
+    info.events = trace.size();
+    info.threads = trace.num_threads();
+    info.locks = trace.num_locks();
+    info.vars = trace.num_vars();
+
+    std::vector<uint32_t> depth(trace.num_threads(), 0);
+    std::vector<uint64_t> txn_len(trace.num_threads(), 0);
+
+    for (const Event& e : trace.events()) {
+        ++info.per_op[static_cast<size_t>(e.op)];
+        uint32_t& d = depth[e.tid];
+        switch (e.op) {
+          case Op::kBegin:
+            if (d == 0) {
+                ++info.transactions;
+                txn_len[e.tid] = 0;
+            } else {
+                ++txn_len[e.tid];
+            }
+            ++d;
+            if (d > info.max_nesting)
+                info.max_nesting = d;
+            break;
+          case Op::kEnd:
+            if (d > 0) {
+                --d;
+                if (d == 0) {
+                    info.txn_event_sum += txn_len[e.tid];
+                    if (txn_len[e.tid] > info.max_txn_events)
+                        info.max_txn_events = txn_len[e.tid];
+                } else {
+                    ++txn_len[e.tid];
+                }
+            }
+            break;
+          default:
+            if (d == 0)
+                ++info.unary_events;
+            else
+                ++txn_len[e.tid];
+            break;
+        }
+    }
+    return info;
+}
+
+void
+print_metainfo(std::ostream& os, const MetaInfo& info)
+{
+    os << "events:        " << with_commas(info.events) << "\n"
+       << "threads:       " << info.threads << "\n"
+       << "locks:         " << info.locks << "\n"
+       << "variables:     " << info.vars << "\n"
+       << "transactions:  " << with_commas(info.transactions) << "\n"
+       << "unary events:  " << with_commas(info.unary_events) << "\n"
+       << "max nesting:   " << info.max_nesting << "\n"
+       << "avg txn size:  " << info.avg_txn_events() << "\n"
+       << "max txn size:  " << with_commas(info.max_txn_events) << "\n";
+    static constexpr const char* names[kNumOps] = {
+        "read", "write", "acquire", "release",
+        "fork", "join", "begin", "end",
+    };
+    for (size_t i = 0; i < kNumOps; ++i) {
+        os << "  " << names[i] << ": " << with_commas(info.per_op[i])
+           << "\n";
+    }
+}
+
+} // namespace aero

@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Trace statistics — the paper's "MetaInfo" analysis (Appendix D.5.5).
+ *
+ * Computes the quantities reported in columns 2-6 of Tables 1 and 2:
+ * events, threads, locks, variables, and (outermost) transactions, plus
+ * per-op histograms useful when characterizing generated workloads.
+ */
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace aero {
+
+/** Aggregate statistics over one trace. */
+struct MetaInfo {
+    uint64_t events = 0;
+    uint32_t threads = 0;
+    uint32_t locks = 0;
+    uint32_t vars = 0;
+    /** Number of outermost transactions (depth-0 begin events). */
+    uint64_t transactions = 0;
+    /** Events not enclosed in any transaction (unary transactions),
+     *  excluding begin/end markers themselves. */
+    uint64_t unary_events = 0;
+    /** Maximum begin/end nesting depth observed. */
+    uint32_t max_nesting = 0;
+    /** Events per operation kind, indexed by static_cast<size_t>(Op). */
+    std::array<uint64_t, kNumOps> per_op{};
+    /** Sum of outermost-transaction lengths (events strictly inside,
+     *  including nested begin/end markers). */
+    uint64_t txn_event_sum = 0;
+    /** Length of the longest outermost transaction. */
+    uint64_t max_txn_events = 0;
+
+    /** Mean events per transaction (0 when there are none). */
+    double
+    avg_txn_events() const
+    {
+        return transactions ? static_cast<double>(txn_event_sum) /
+                                  static_cast<double>(transactions)
+                            : 0.0;
+    }
+};
+
+/** Compute statistics for `trace`. */
+MetaInfo compute_metainfo(const Trace& trace);
+
+/** Pretty-print a MetaInfo block. */
+void print_metainfo(std::ostream& os, const MetaInfo& info);
+
+} // namespace aero

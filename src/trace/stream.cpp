@@ -1,0 +1,176 @@
+#include "trace/stream.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+
+#include "support/assert.hpp"
+#include "support/str.hpp"
+
+namespace aero {
+
+namespace {
+
+Op
+parse_op_token(std::string_view tok, size_t line_no)
+{
+    if (tok == "r")
+        return Op::kRead;
+    if (tok == "w")
+        return Op::kWrite;
+    if (tok == "acq")
+        return Op::kAcquire;
+    if (tok == "rel")
+        return Op::kRelease;
+    if (tok == "fork")
+        return Op::kFork;
+    if (tok == "join")
+        return Op::kJoin;
+    if (tok == "begin")
+        return Op::kBegin;
+    if (tok == "end")
+        return Op::kEnd;
+    fatal("line " + std::to_string(line_no) + ": unknown operation '" +
+          std::string(tok) + "'");
+}
+
+uint64_t
+get_varint(std::istream& is)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        int c = is.get();
+        if (c == EOF)
+            fatal("binary trace truncated inside a varint");
+        v |= static_cast<uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 63)
+            fatal("binary trace varint too long");
+    }
+}
+
+template <typename T>
+T
+get_raw(std::istream& is)
+{
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is)
+        fatal("binary trace truncated in header");
+    return v;
+}
+
+} // namespace
+
+bool
+TextEventSource::next(Event& out)
+{
+    std::string line;
+    while (std::getline(is_, line)) {
+        ++line_no_;
+        std::string_view sv = trim(line);
+        if (sv.empty() || sv[0] == '#')
+            continue;
+
+        std::string_view toks[3];
+        size_t ntoks = 0;
+        size_t pos = 0;
+        while (pos < sv.size() && ntoks < 3) {
+            while (pos < sv.size() &&
+                   std::isspace(static_cast<unsigned char>(sv[pos])))
+                ++pos;
+            size_t start = pos;
+            while (pos < sv.size() &&
+                   !std::isspace(static_cast<unsigned char>(sv[pos])))
+                ++pos;
+            if (pos > start)
+                toks[ntoks++] = sv.substr(start, pos - start);
+        }
+        if (ntoks < 2) {
+            fatal("line " + std::to_string(line_no_) +
+                  ": expected '<thread> <op> [target]'");
+        }
+        ThreadId t = threads_.intern(toks[0]);
+        Op op = parse_op_token(toks[1], line_no_);
+        uint32_t target = 0;
+        bool needs_target = !(op == Op::kBegin || op == Op::kEnd);
+        if (needs_target) {
+            if (ntoks < 3) {
+                fatal("line " + std::to_string(line_no_) +
+                      ": operation requires a target");
+            }
+            if (op_targets_var(op))
+                target = vars_.intern(toks[2]);
+            else if (op_targets_lock(op))
+                target = locks_.intern(toks[2]);
+            else
+                target = threads_.intern(toks[2]);
+        } else if (ntoks > 2) {
+            fatal("line " + std::to_string(line_no_) +
+                  ": begin/end take no target");
+        }
+        out = Event{t, target, op};
+        return true;
+    }
+    return false;
+}
+
+BinaryEventSource::BinaryEventSource(std::istream& is) : is_(is)
+{
+    char magic[8];
+    is_.read(magic, sizeof(magic));
+    static constexpr char kMagic[8] = {'A', 'E', 'R', 'O',
+                                       'T', 'R', 'C', '1'};
+    if (!is_ || std::memcmp(magic, kMagic, sizeof(magic)) != 0)
+        fatal("not an aerodrome binary trace (bad magic)");
+    expected_ = get_raw<uint64_t>(is_);
+    num_threads_ = get_raw<uint32_t>(is_);
+    num_vars_ = get_raw<uint32_t>(is_);
+    num_locks_ = get_raw<uint32_t>(is_);
+}
+
+bool
+BinaryEventSource::next(Event& out)
+{
+    if (produced_ >= expected_)
+        return false;
+    int opb = is_.get();
+    if (opb == EOF) {
+        fatal("binary trace truncated at event " +
+              std::to_string(produced_));
+    }
+    if (opb < 0 || opb >= static_cast<int>(kNumOps))
+        fatal("binary trace has invalid opcode " + std::to_string(opb));
+    Op op = static_cast<Op>(opb);
+    uint64_t tid = get_varint(is_);
+    uint64_t target =
+        (op == Op::kBegin || op == Op::kEnd) ? 0 : get_varint(is_);
+    if (tid > UINT32_MAX || target > UINT32_MAX)
+        fatal("binary trace id out of range");
+    out = Event{static_cast<ThreadId>(tid), static_cast<uint32_t>(target),
+                op};
+    ++produced_;
+    return true;
+}
+
+std::unique_ptr<EventSource>
+open_event_source(const std::string& path,
+                  std::unique_ptr<std::istream>& storage)
+{
+    bool binary = path.size() > 4 &&
+                  path.compare(path.size() - 4, 4, ".bin") == 0;
+    auto file = std::make_unique<std::ifstream>(
+        path, binary ? std::ios::binary : std::ios::in);
+    if (!*file)
+        fatal("cannot open file for reading: " + path);
+    std::istream& ref = *file;
+    storage = std::move(file);
+    if (binary)
+        return std::make_unique<BinaryEventSource>(ref);
+    return std::make_unique<TextEventSource>(ref);
+}
+
+} // namespace aero

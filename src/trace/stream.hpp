@@ -1,0 +1,106 @@
+#pragma once
+
+/**
+ * @file
+ * Streaming event sources.
+ *
+ * The paper's traces run to billions of events (Table 1: avrora 2.4B,
+ * lusearch 2.0B); such logs do not fit in memory. Both checkers are
+ * single-pass online algorithms, so this module provides pull-based
+ * event sources that decode one event at a time from the text or binary
+ * format, plus an adapter over an in-memory Trace. The analysis runner
+ * has a streaming entry point (`run_checker_stream`) built on these.
+ *
+ * Sources also accumulate the id spaces seen so far, so a consumer can
+ * size its state lazily (the checkers auto-grow anyway).
+ */
+
+#include <istream>
+#include <memory>
+
+#include "trace/trace.hpp"
+
+namespace aero {
+
+/** Pull-based event stream. */
+class EventSource {
+public:
+    virtual ~EventSource() = default;
+
+    /**
+     * Decode the next event into `out`.
+     * @return false at end of stream; throws FatalError on corrupt input.
+     */
+    virtual bool next(Event& out) = 0;
+};
+
+/** Adapter: stream an in-memory trace. */
+class TraceSource : public EventSource {
+public:
+    explicit TraceSource(const Trace& trace) : trace_(trace) {}
+
+    bool
+    next(Event& out) override
+    {
+        if (pos_ >= trace_.size())
+            return false;
+        out = trace_[pos_++];
+        return true;
+    }
+
+private:
+    const Trace& trace_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Streaming reader for the text format (see text_io.hpp). Thread, var,
+ * and lock names are interned incrementally; the tables are exposed so
+ * callers can render events or map names after (or during) the run.
+ */
+class TextEventSource : public EventSource {
+public:
+    explicit TextEventSource(std::istream& is) : is_(is) {}
+
+    bool next(Event& out) override;
+
+    const NameTable& threads() const { return threads_; }
+    const NameTable& vars() const { return vars_; }
+    const NameTable& locks() const { return locks_; }
+
+private:
+    std::istream& is_;
+    NameTable threads_;
+    NameTable vars_;
+    NameTable locks_;
+    size_t line_no_ = 0;
+};
+
+/** Streaming reader for the binary format (see binary_io.hpp). */
+class BinaryEventSource : public EventSource {
+public:
+    /** Reads and validates the header immediately. */
+    explicit BinaryEventSource(std::istream& is);
+
+    bool next(Event& out) override;
+
+    /** Event count promised by the header. */
+    uint64_t expected_events() const { return expected_; }
+    uint32_t num_threads() const { return num_threads_; }
+    uint32_t num_vars() const { return num_vars_; }
+    uint32_t num_locks() const { return num_locks_; }
+
+private:
+    std::istream& is_;
+    uint64_t expected_ = 0;
+    uint64_t produced_ = 0;
+    uint32_t num_threads_ = 0;
+    uint32_t num_vars_ = 0;
+    uint32_t num_locks_ = 0;
+};
+
+/** Open a file as a streaming source (binary iff the path ends ".bin"). */
+std::unique_ptr<EventSource> open_event_source(const std::string& path,
+                                               std::unique_ptr<std::istream>& storage);
+
+} // namespace aero

@@ -1,0 +1,125 @@
+#include "trace/text_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/str.hpp"
+
+namespace aero {
+
+void
+write_text(std::ostream& os, const Trace& trace)
+{
+    os << "# aerodrome text trace: " << trace.size() << " events, "
+       << trace.num_threads() << " threads, " << trace.num_vars()
+       << " vars, " << trace.num_locks() << " locks\n";
+    for (const Event& e : trace.events())
+        os << trace.format_event(e) << "\n";
+}
+
+void
+write_text_file(const std::string& path, const Trace& trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open file for writing: " + path);
+    write_text(os, trace);
+    if (!os)
+        fatal("error while writing: " + path);
+}
+
+namespace {
+
+Op
+parse_op(std::string_view tok, size_t line_no)
+{
+    if (tok == "r")
+        return Op::kRead;
+    if (tok == "w")
+        return Op::kWrite;
+    if (tok == "acq")
+        return Op::kAcquire;
+    if (tok == "rel")
+        return Op::kRelease;
+    if (tok == "fork")
+        return Op::kFork;
+    if (tok == "join")
+        return Op::kJoin;
+    if (tok == "begin")
+        return Op::kBegin;
+    if (tok == "end")
+        return Op::kEnd;
+    fatal("line " + std::to_string(line_no) + ": unknown operation '" +
+          std::string(tok) + "'");
+}
+
+} // namespace
+
+Trace
+read_text(std::istream& is)
+{
+    Trace trace;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::string_view sv = trim(line);
+        if (sv.empty() || sv[0] == '#')
+            continue;
+
+        // Tokenize on runs of whitespace.
+        std::vector<std::string_view> toks;
+        size_t pos = 0;
+        while (pos < sv.size()) {
+            while (pos < sv.size() &&
+                   std::isspace(static_cast<unsigned char>(sv[pos])))
+                ++pos;
+            size_t start = pos;
+            while (pos < sv.size() &&
+                   !std::isspace(static_cast<unsigned char>(sv[pos])))
+                ++pos;
+            if (pos > start)
+                toks.push_back(sv.substr(start, pos - start));
+        }
+        if (toks.size() < 2) {
+            fatal("line " + std::to_string(line_no) +
+                  ": expected '<thread> <op> [target]'");
+        }
+
+        ThreadId t = trace.threads().intern(toks[0]);
+        Op op = parse_op(toks[1], line_no);
+        uint32_t target = 0;
+        bool needs_target = !(op == Op::kBegin || op == Op::kEnd);
+        if (needs_target) {
+            if (toks.size() < 3) {
+                fatal("line " + std::to_string(line_no) +
+                      ": operation requires a target");
+            }
+            if (op_targets_var(op)) {
+                target = trace.vars().intern(toks[2]);
+            } else if (op_targets_lock(op)) {
+                target = trace.locks().intern(toks[2]);
+            } else {
+                target = trace.threads().intern(toks[2]);
+            }
+        } else if (toks.size() > 2) {
+            fatal("line " + std::to_string(line_no) +
+                  ": begin/end take no target");
+        }
+        trace.push({t, target, op});
+    }
+    return trace;
+}
+
+Trace
+read_text_file(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open file for reading: " + path);
+    return read_text(is);
+}
+
+} // namespace aero

@@ -1,0 +1,87 @@
+#include "trace/trace.hpp"
+
+#include "support/assert.hpp"
+
+namespace aero {
+
+uint32_t
+NameTable::intern(std::string_view name)
+{
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end())
+        return it->second;
+    uint32_t id = next_++;
+    ids_.emplace(std::string(name), id);
+    names_.resize(next_);
+    names_[id] = std::string(name);
+    return id;
+}
+
+bool
+NameTable::lookup(std::string_view name, uint32_t& out) const
+{
+    auto it = ids_.find(std::string(name));
+    if (it == ids_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+std::string
+NameTable::name_of(uint32_t id, std::string_view prefix) const
+{
+    if (id < names_.size() && !names_[id].empty())
+        return names_[id];
+    return std::string(prefix) + std::to_string(id);
+}
+
+void
+NameTable::ensure(uint32_t n)
+{
+    if (n > next_) {
+        next_ = n;
+        names_.resize(n);
+    }
+}
+
+void
+Trace::push(Event e)
+{
+    threads_.ensure(e.tid + 1);
+    switch (e.op) {
+      case Op::kRead:
+      case Op::kWrite:
+        vars_.ensure(e.target + 1);
+        break;
+      case Op::kAcquire:
+      case Op::kRelease:
+        locks_.ensure(e.target + 1);
+        break;
+      case Op::kFork:
+      case Op::kJoin:
+        threads_.ensure(e.target + 1);
+        break;
+      case Op::kBegin:
+      case Op::kEnd:
+        break;
+    }
+    events_.push_back(e);
+}
+
+std::string
+Trace::format_event(const Event& e) const
+{
+    std::string out = threads_.name_of(e.tid, "t");
+    out += " ";
+    out += op_name(e.op);
+    if (op_targets_var(e.op)) {
+        out += " " + vars_.name_of(e.target, "x");
+    } else if (op_targets_lock(e.op)) {
+        out += " " + locks_.name_of(e.target, "l");
+    } else if (op_targets_thread(e.op)) {
+        out += " " + threads_.name_of(e.target, "t");
+    }
+    return out;
+}
+
+} // namespace aero

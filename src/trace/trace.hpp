@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * In-memory trace container with string interning for thread/var/lock names.
+ *
+ * Two usage styles:
+ *  - Generators append events with numeric ids directly (fast path).
+ *  - TraceBuilder (builder.hpp) interns human-readable names and is the
+ *    convenient front end for tests and examples.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace aero {
+
+/**
+ * Interns strings to dense ids; remembers names for reverse lookup.
+ * One instance per object kind (threads, vars, locks).
+ */
+class NameTable {
+public:
+    /** Id for `name`, interning it if new. */
+    uint32_t intern(std::string_view name);
+
+    /** Id for `name` or kNoThread-style sentinel if absent. */
+    bool lookup(std::string_view name, uint32_t& out) const;
+
+    /** Name for id; auto-generates "<prefix><id>" if unnamed. */
+    std::string name_of(uint32_t id, std::string_view prefix) const;
+
+    /** Ensure ids [0, n) exist (auto-named on demand). */
+    void ensure(uint32_t n);
+
+    /** Number of interned ids. */
+    uint32_t size() const { return next_; }
+
+private:
+    std::unordered_map<std::string, uint32_t> ids_;
+    std::vector<std::string> names_;
+    uint32_t next_ = 0;
+};
+
+/**
+ * A complete execution trace: the event sequence plus id spaces for
+ * threads, variables, and locks.
+ */
+class Trace {
+public:
+    /** Append an event with numeric ids, growing id spaces as needed. */
+    void push(Event e);
+
+    /** Convenience appenders used by generators. */
+    void read(ThreadId t, VarId x) { push({t, x, Op::kRead}); }
+    void write(ThreadId t, VarId x) { push({t, x, Op::kWrite}); }
+    void acquire(ThreadId t, LockId l) { push({t, l, Op::kAcquire}); }
+    void release(ThreadId t, LockId l) { push({t, l, Op::kRelease}); }
+    void fork(ThreadId t, ThreadId u) { push({t, u, Op::kFork}); }
+    void join(ThreadId t, ThreadId u) { push({t, u, Op::kJoin}); }
+    void begin(ThreadId t) { push({t, 0, Op::kBegin}); }
+    void end(ThreadId t) { push({t, 0, Op::kEnd}); }
+
+    const std::vector<Event>& events() const { return events_; }
+    size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    const Event& operator[](size_t i) const { return events_[i]; }
+
+    /** Number of threads/vars/locks (max id + 1 over all events). */
+    uint32_t num_threads() const { return threads_.size(); }
+    uint32_t num_vars() const { return vars_.size(); }
+    uint32_t num_locks() const { return locks_.size(); }
+
+    NameTable& threads() { return threads_; }
+    NameTable& vars() { return vars_; }
+    NameTable& locks() { return locks_; }
+    const NameTable& threads() const { return threads_; }
+    const NameTable& vars() const { return vars_; }
+    const NameTable& locks() const { return locks_; }
+
+    /** Human-readable rendering of one event, e.g. "t1 w x3". */
+    std::string format_event(const Event& e) const;
+
+    /** Reserve storage for `n` events (generators know their size). */
+    void reserve(size_t n) { events_.reserve(n); }
+
+private:
+    std::vector<Event> events_;
+    NameTable threads_;
+    NameTable vars_;
+    NameTable locks_;
+};
+
+} // namespace aero

@@ -1,0 +1,132 @@
+#include "trace/validator.hpp"
+
+#include <vector>
+
+namespace aero {
+
+namespace {
+
+ValidationResult
+fail(size_t index, std::string msg)
+{
+    return ValidationResult{false, index, std::move(msg)};
+}
+
+} // namespace
+
+ValidationResult
+validate(const Trace& trace, const ValidatorOptions& opts)
+{
+    const uint32_t nt = trace.num_threads();
+    const uint32_t nl = trace.num_locks();
+
+    // Per-lock state: holder thread and reentrancy depth.
+    std::vector<ThreadId> holder(nl, kNoThread);
+    std::vector<uint32_t> depth(nl, 0);
+
+    // Per-thread state.
+    std::vector<uint32_t> txn_depth(nt, 0);
+    std::vector<bool> started(nt, false);  // performed any event
+    std::vector<bool> forked(nt, false);   // appeared as fork target
+    std::vector<bool> joined(nt, false);   // appeared as join target
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const Event& e = trace[i];
+        const ThreadId t = e.tid;
+
+        if (joined[t]) {
+            return fail(i, "thread " + trace.threads().name_of(t, "t") +
+                               " performs an event after being joined");
+        }
+        started[t] = true;
+
+        switch (e.op) {
+          case Op::kAcquire: {
+            const LockId l = e.target;
+            if (holder[l] == t) {
+                if (!opts.allow_reentrant_locks) {
+                    return fail(i, "reentrant acquire of lock " +
+                                       trace.locks().name_of(l, "l"));
+                }
+                ++depth[l];
+            } else if (holder[l] != kNoThread) {
+                return fail(i, "lock " + trace.locks().name_of(l, "l") +
+                                   " acquired while held by another thread");
+            } else {
+                holder[l] = t;
+                depth[l] = 1;
+            }
+            break;
+          }
+          case Op::kRelease: {
+            const LockId l = e.target;
+            if (holder[l] != t) {
+                return fail(i, "release of lock " +
+                                   trace.locks().name_of(l, "l") +
+                                   " not held by the releasing thread");
+            }
+            if (--depth[l] == 0)
+                holder[l] = kNoThread;
+            break;
+          }
+          case Op::kFork: {
+            const ThreadId u = e.target;
+            if (u == t)
+                return fail(i, "thread forks itself");
+            if (forked[u])
+                return fail(i, "thread " + trace.threads().name_of(u, "t") +
+                                   " forked twice");
+            if (started[u]) {
+                return fail(i, "fork of thread " +
+                                   trace.threads().name_of(u, "t") +
+                                   " after its first event");
+            }
+            forked[u] = true;
+            break;
+          }
+          case Op::kJoin: {
+            const ThreadId u = e.target;
+            if (u == t)
+                return fail(i, "thread joins itself");
+            if (joined[u])
+                return fail(i, "thread " + trace.threads().name_of(u, "t") +
+                                   " joined twice");
+            joined[u] = true;
+            break;
+          }
+          case Op::kBegin:
+            ++txn_depth[t];
+            break;
+          case Op::kEnd:
+            if (txn_depth[t] == 0)
+                return fail(i, "transaction end without matching begin");
+            --txn_depth[t];
+            break;
+          case Op::kRead:
+          case Op::kWrite:
+            break;
+        }
+    }
+
+    if (opts.require_closed_transactions) {
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (txn_depth[t] != 0) {
+                return fail(trace.size(),
+                            "thread " + trace.threads().name_of(t, "t") +
+                                " ends the trace with an open transaction");
+            }
+        }
+    }
+    if (opts.require_released_locks) {
+        for (uint32_t l = 0; l < nl; ++l) {
+            if (holder[l] != kNoThread) {
+                return fail(trace.size(), "lock " +
+                                              trace.locks().name_of(l, "l") +
+                                              " still held at trace end");
+            }
+        }
+    }
+    return ValidationResult{};
+}
+
+} // namespace aero

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Well-formedness validation (paper, Section 2).
+ *
+ * A trace is well-formed when:
+ *  - lock acquires and releases are well matched: a thread only releases a
+ *    lock it holds, and a lock is held by at most one thread at a time;
+ *  - begin/end atomic-block events are well matched per thread (nesting is
+ *    allowed; only the outermost pair delimits a transaction);
+ *  - a fork(u) occurs before the first event of thread u, each thread is
+ *    forked at most once, and no thread forks itself;
+ *  - a join(u) occurs after the last event of thread u;
+ *  - a forked thread is not the forking thread and a joined thread is not
+ *    the joining thread.
+ *
+ * The checkers in this repository assume well-formed input; generators are
+ * fuzz-tested against this validator.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace aero {
+
+/** Options controlling which disciplines the validator enforces. */
+struct ValidatorOptions {
+    /** Allow a thread to re-acquire a lock it already holds (reentrant
+     *  locking, Java-monitor style). Default: strict (non-reentrant). */
+    bool allow_reentrant_locks = false;
+
+    /** Require every begin to be closed by trace end. */
+    bool require_closed_transactions = false;
+
+    /** Require every held lock to be released by trace end. */
+    bool require_released_locks = false;
+};
+
+/** Result of validating a trace. */
+struct ValidationResult {
+    bool ok = true;
+    /** Index of the first offending event (or trace size for end-of-trace
+     *  violations such as unclosed transactions). */
+    size_t event_index = 0;
+    std::string message;
+};
+
+/** Validate `trace` against the well-formedness rules. */
+ValidationResult validate(const Trace& trace, const ValidatorOptions& opts = {});
+
+} // namespace aero

@@ -1,0 +1,103 @@
+#include "vc/vector_clock.hpp"
+
+#include <algorithm>
+
+namespace aero {
+
+void
+VectorClock::set(size_t t, ClockValue v)
+{
+    if (t >= c_.size()) {
+        if (v == 0)
+            return; // implicit zero already
+        c_.resize(t + 1, 0);
+    }
+    c_[t] = v;
+}
+
+void
+VectorClock::tick(size_t t)
+{
+    if (t >= c_.size())
+        c_.resize(t + 1, 0);
+    ++c_[t];
+}
+
+bool
+VectorClock::is_bottom() const
+{
+    return std::all_of(c_.begin(), c_.end(),
+                       [](ClockValue v) { return v == 0; });
+}
+
+void
+VectorClock::join(const VectorClock& other)
+{
+    if (other.c_.size() > c_.size())
+        c_.resize(other.c_.size(), 0);
+    for (size_t i = 0; i < other.c_.size(); ++i)
+        c_[i] = std::max(c_[i], other.c_[i]);
+}
+
+bool
+VectorClock::leq(const VectorClock& other) const
+{
+    for (size_t i = 0; i < c_.size(); ++i) {
+        if (c_[i] > other.get(i))
+            return false;
+    }
+    return true;
+}
+
+bool
+VectorClock::leq_except(const VectorClock& other, size_t skip) const
+{
+    for (size_t i = 0; i < c_.size(); ++i) {
+        if (i != skip && c_[i] > other.get(i))
+            return false;
+    }
+    return true;
+}
+
+bool
+VectorClock::operator==(const VectorClock& other) const
+{
+    size_t n = std::max(c_.size(), other.c_.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (get(i) != other.get(i))
+            return false;
+    }
+    return true;
+}
+
+void
+VectorClock::clear()
+{
+    std::fill(c_.begin(), c_.end(), 0);
+}
+
+void
+VectorClock::join_except(const VectorClock& other, size_t zeroed)
+{
+    if (other.c_.size() > c_.size())
+        c_.resize(other.c_.size(), 0);
+    for (size_t i = 0; i < other.c_.size(); ++i) {
+        if (i != zeroed)
+            c_[i] = std::max(c_[i], other.c_[i]);
+    }
+}
+
+std::string
+VectorClock::to_string() const
+{
+    std::string out = "<";
+    for (size_t i = 0; i < c_.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += std::to_string(c_[i]);
+    }
+    out += ">";
+    return out;
+}
+
+} // namespace aero

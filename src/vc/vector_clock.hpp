@@ -1,0 +1,100 @@
+#pragma once
+
+/**
+ * @file
+ * Vector times and vector clocks (paper, Section 4).
+ *
+ * A vector time is a map from threads to non-negative integers. With |Thr|
+ * threads it is stored as a flat array of |Thr| counters. The operations
+ * match the paper's notation:
+ *
+ *   - V1 <= V2 ("V1 sqsubseteq V2"): pointwise less-or-equal   -> leq()
+ *   - V1 |_| V2 (join):              pointwise max              -> join()
+ *   - V[c/t]:                        V with component t set to c -> with()
+ *   - bot:                           all zeros                   -> default
+ *
+ * Clocks auto-resize: threads may appear dynamically in a trace, so any
+ * access beyond the current dimension behaves as if the missing components
+ * were 0 (which is exactly the paper's bottom element for fresh threads).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aero {
+
+/** Component type of a vector time. 32 bits suffice: one increment per
+ *  transaction begin per thread. */
+using ClockValue = uint32_t;
+
+/**
+ * A vector time over thread indices 0..dim-1 with implicit zeros beyond
+ * the stored dimension.
+ */
+class VectorClock {
+public:
+    /** The bottom vector time (all zeros, dimension 0). */
+    VectorClock() = default;
+
+    /** Bottom vector time of the given dimension. */
+    explicit VectorClock(size_t dim) : c_(dim, 0) {}
+
+    /** Construct from explicit components (useful in tests). */
+    VectorClock(std::initializer_list<ClockValue> components)
+        : c_(components)
+    {}
+
+    /** Component for thread `t` (0 if beyond the stored dimension). */
+    ClockValue
+    get(size_t t) const
+    {
+        return t < c_.size() ? c_[t] : 0;
+    }
+
+    /** Set component `t` to `v`, growing the clock as needed. */
+    void set(size_t t, ClockValue v);
+
+    /** Increment component `t` by one (the begin-event local tick). */
+    void tick(size_t t);
+
+    /** Stored dimension (threads seen so far). */
+    size_t dim() const { return c_.size(); }
+
+    /** True iff all components are zero. */
+    bool is_bottom() const;
+
+    /** Pointwise maximum: *this := *this |_| other. */
+    void join(const VectorClock& other);
+
+    /** this sqsubseteq other: pointwise <= over all components. */
+    bool leq(const VectorClock& other) const;
+
+    /**
+     * this sqsubseteq other, ignoring component `skip`. Implements the
+     * paper's C-with-zeroed-component comparisons (e.g. hasIncomingEdge's
+     * "C_t^b[0/t] != C_t[0/t]" style checks) without materialising a copy.
+     */
+    bool leq_except(const VectorClock& other, size_t skip) const;
+
+    /** Equality on the infinite-dimensional interpretation. */
+    bool operator==(const VectorClock& other) const;
+    bool operator!=(const VectorClock& other) const { return !(*this == other); }
+
+    /** Reset to bottom without releasing storage. */
+    void clear();
+
+    /**
+     * *this := *this |_| other with component `zeroed` of `other` treated
+     * as 0. Implements "hR_x := hR_x |_| C_u[0/u]" updates in one pass.
+     */
+    void join_except(const VectorClock& other, size_t zeroed);
+
+    /** Render as "<c0,c1,...,ck>" for logs and tests. */
+    std::string to_string() const;
+
+private:
+    std::vector<ClockValue> c_;
+};
+
+} // namespace aero

@@ -1,0 +1,294 @@
+#include "velodrome/velodrome_pk.hpp"
+
+#include <algorithm>
+
+namespace aero {
+
+VelodromePK::VelodromePK(uint32_t num_threads, uint32_t num_vars,
+                         uint32_t num_locks, const VelodromeOptions& opts)
+    : opts_(opts), txns_(num_threads)
+{
+    cur_.assign(num_threads, kNone);
+    last_.assign(num_threads, kNone);
+    last_write_.assign(num_vars, kNone);
+    last_rel_.assign(num_locks, kNone);
+    last_read_.assign(num_vars, std::vector<uint32_t>(num_threads, kNone));
+}
+
+void
+VelodromePK::ensure_thread(ThreadId t)
+{
+    if (t >= cur_.size()) {
+        cur_.resize(t + 1, kNone);
+        last_.resize(t + 1, kNone);
+        txns_.ensure(t + 1);
+        for (auto& per_thread : last_read_)
+            per_thread.resize(cur_.size(), kNone);
+    }
+}
+
+void
+VelodromePK::ensure_var(VarId x)
+{
+    if (x >= last_write_.size()) {
+        last_write_.resize(x + 1, kNone);
+        last_read_.resize(x + 1,
+                          std::vector<uint32_t>(cur_.size(), kNone));
+    }
+}
+
+void
+VelodromePK::ensure_lock(LockId l)
+{
+    if (l >= last_rel_.size())
+        last_rel_.resize(l + 1, kNone);
+}
+
+uint32_t
+VelodromePK::new_node(ThreadId t, bool completed)
+{
+    uint32_t n = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[n].completed = completed;
+    nodes_[n].ord = next_ord_++; // newest node goes last: consistent
+    ++stats_.total_nodes;
+    ++stats_.live_nodes;
+    stats_.max_live_nodes =
+        std::max(stats_.max_live_nodes, stats_.live_nodes);
+    add_edge(last_[t], n);
+    last_[t] = n;
+    return n;
+}
+
+uint32_t
+VelodromePK::node_for_event(ThreadId t)
+{
+    uint32_t n = cur_[t];
+    if (n == kNone)
+        n = new_node(t, /*completed=*/true);
+    return n;
+}
+
+bool
+VelodromePK::reorder(uint32_t a, uint32_t b)
+{
+    // Pearce-Kelly: the affected region is ord(b) .. ord(a). Forward
+    // search from b (bounded above by ord(a)); meeting a closes a cycle.
+    ++reordered_edges_;
+    const uint32_t lower = nodes_[b].ord;
+    const uint32_t upper = nodes_[a].ord;
+    ++dfs_stamp_;
+    fwd_.clear();
+    work_.clear();
+    work_.push_back(b);
+    nodes_[b].stamp = dfs_stamp_;
+    while (!work_.empty()) {
+        uint32_t v = work_.back();
+        work_.pop_back();
+        ++stats_.dfs_visits;
+        fwd_.push_back(v);
+        if (v == a)
+            return true; // cycle
+        for (uint32_t w : nodes_[v].succ) {
+            Node& nw = nodes_[w];
+            if (!nw.deleted && nw.stamp != dfs_stamp_ && nw.ord <= upper) {
+                nw.stamp = dfs_stamp_;
+                work_.push_back(w);
+            }
+        }
+    }
+    // Backward search from a (bounded below by ord(b)). Uses a second
+    // stamp space offset so the two searches don't collide.
+    ++dfs_stamp_;
+    bwd_.clear();
+    work_.push_back(a);
+    nodes_[a].stamp = dfs_stamp_;
+    while (!work_.empty()) {
+        uint32_t v = work_.back();
+        work_.pop_back();
+        ++stats_.dfs_visits;
+        bwd_.push_back(v);
+        for (uint32_t w : nodes_[v].pred) {
+            Node& nw = nodes_[w];
+            if (!nw.deleted && nw.stamp != dfs_stamp_ && nw.ord >= lower) {
+                nw.stamp = dfs_stamp_;
+                work_.push_back(w);
+            }
+        }
+    }
+    // Reassign the union of their order slots: everything that reaches a
+    // (bwd) must precede everything reachable from b (fwd).
+    auto by_ord = [this](uint32_t x, uint32_t y) {
+        return nodes_[x].ord < nodes_[y].ord;
+    };
+    std::sort(bwd_.begin(), bwd_.end(), by_ord);
+    std::sort(fwd_.begin(), fwd_.end(), by_ord);
+    std::vector<uint32_t> slots;
+    slots.reserve(bwd_.size() + fwd_.size());
+    for (uint32_t v : bwd_)
+        slots.push_back(nodes_[v].ord);
+    for (uint32_t v : fwd_)
+        slots.push_back(nodes_[v].ord);
+    std::sort(slots.begin(), slots.end());
+    size_t i = 0;
+    for (uint32_t v : bwd_)
+        nodes_[v].ord = slots[i++];
+    for (uint32_t v : fwd_)
+        nodes_[v].ord = slots[i++];
+    return false;
+}
+
+bool
+VelodromePK::add_edge(uint32_t a, uint32_t b)
+{
+    if (a == kNone || b == kNone || a == b)
+        return false;
+    if (nodes_[a].deleted)
+        return false; // see velodrome.cpp: no cycle can pass through
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    if (!edge_set_.insert(key).second)
+        return false;
+    ++stats_.total_edges;
+    nodes_[a].succ.push_back(b);
+    nodes_[b].pred.push_back(a);
+    ++nodes_[b].indegree;
+    if (nodes_[a].ord < nodes_[b].ord) {
+        ++fast_edges_; // order already consistent: O(1)
+        return false;
+    }
+    return reorder(a, b);
+}
+
+void
+VelodromePK::maybe_collect(uint32_t n)
+{
+    if (!opts_.garbage_collect)
+        return;
+    std::vector<uint32_t> work{n};
+    while (!work.empty()) {
+        uint32_t v = work.back();
+        work.pop_back();
+        if (nodes_[v].deleted || !nodes_[v].completed ||
+            nodes_[v].indegree != 0) {
+            continue;
+        }
+        nodes_[v].deleted = true;
+        ++stats_.gc_deleted;
+        --stats_.live_nodes;
+        for (uint32_t w : nodes_[v].succ) {
+            if (nodes_[w].deleted)
+                continue;
+            uint64_t key = (static_cast<uint64_t>(v) << 32) | w;
+            edge_set_.erase(key);
+            if (--nodes_[w].indegree == 0 && nodes_[w].completed)
+                work.push_back(w);
+        }
+        nodes_[v].succ.clear();
+        nodes_[v].succ.shrink_to_fit();
+        nodes_[v].pred.clear();
+        nodes_[v].pred.shrink_to_fit();
+    }
+}
+
+void
+VelodromePK::on_complete(uint32_t n)
+{
+    nodes_[n].completed = true;
+    maybe_collect(n);
+}
+
+bool
+VelodromePK::process(const Event& e, size_t index)
+{
+    const ThreadId t = e.tid;
+    ensure_thread(t);
+
+    switch (e.op) {
+      case Op::kBegin:
+        if (txns_.on_begin(t))
+            cur_[t] = new_node(t, /*completed=*/false);
+        return false;
+
+      case Op::kEnd:
+        if (txns_.on_end(t)) {
+            uint32_t n = cur_[t];
+            cur_[t] = kNone;
+            if (n != kNone)
+                on_complete(n);
+        }
+        return false;
+
+      case Op::kRead: {
+        ensure_var(e.target);
+        uint32_t n = node_for_event(t);
+        bool cycle = add_edge(last_write_[e.target], n);
+        last_read_[e.target][t] = n;
+        if (cur_[t] == kNone)
+            on_complete(n);
+        if (cycle)
+            return report(index, t, "cycle closed by read edge");
+        return false;
+      }
+
+      case Op::kWrite: {
+        ensure_var(e.target);
+        uint32_t n = node_for_event(t);
+        bool cycle = add_edge(last_write_[e.target], n);
+        for (uint32_t node : last_read_[e.target]) {
+            if (cycle)
+                break;
+            cycle = add_edge(node, n);
+        }
+        last_write_[e.target] = n;
+        if (cur_[t] == kNone)
+            on_complete(n);
+        if (cycle)
+            return report(index, t, "cycle closed by write edge");
+        return false;
+      }
+
+      case Op::kAcquire: {
+        ensure_lock(e.target);
+        uint32_t n = node_for_event(t);
+        bool cycle = add_edge(last_rel_[e.target], n);
+        if (cur_[t] == kNone)
+            on_complete(n);
+        if (cycle)
+            return report(index, t, "cycle closed by lock edge");
+        return false;
+      }
+
+      case Op::kRelease: {
+        ensure_lock(e.target);
+        uint32_t n = node_for_event(t);
+        last_rel_[e.target] = n;
+        if (cur_[t] == kNone)
+            on_complete(n);
+        return false;
+      }
+
+      case Op::kFork: {
+        ensure_thread(e.target);
+        uint32_t n = node_for_event(t);
+        if (last_[e.target] == kNone)
+            last_[e.target] = n;
+        if (cur_[t] == kNone)
+            on_complete(n);
+        return false;
+      }
+
+      case Op::kJoin: {
+        ensure_thread(e.target);
+        uint32_t n = node_for_event(t);
+        bool cycle = add_edge(last_[e.target], n);
+        if (cur_[t] == kNone)
+            on_complete(n);
+        if (cycle)
+            return report(index, t, "cycle closed by join edge");
+        return false;
+      }
+    }
+    return false;
+}
+
+} // namespace aero

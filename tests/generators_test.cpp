@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the workload generators: every generator's verdict guarantee
+ * is checked against the oracle (and spot-checked against the online
+ * engines), the 2PL generator is swept for soundness (serializable under
+ * every schedule), and the benchmark models are verified to produce the
+ * verdicts their table rows advertise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aerodrome/aerodrome_opt.hpp"
+#include "analysis/runner.hpp"
+#include "gen/bench_models.hpp"
+#include "gen/patterns.hpp"
+#include "gen/twopl.hpp"
+#include "oracle/serializability_oracle.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/metainfo.hpp"
+#include "trace/validator.hpp"
+#include "velodrome/velodrome.hpp"
+
+namespace aero {
+namespace {
+
+bool
+aerodrome_verdict(const Trace& t)
+{
+    AeroDromeOpt a(t.num_threads(), t.num_vars(), t.num_locks());
+    return run_checker(a, t).violation;
+}
+
+// --- Patterns ---------------------------------------------------------------
+
+TEST(Patterns, RingViolatesForAllSizes)
+{
+    for (uint32_t k = 2; k <= 6; ++k) {
+        Trace t = gen::make_ring(k);
+        EXPECT_TRUE(validate(t).ok);
+        EXPECT_FALSE(check_serializability(t).serializable);
+        EXPECT_TRUE(aerodrome_verdict(t));
+    }
+}
+
+TEST(Patterns, PipelineSerializable)
+{
+    Trace t = gen::make_pipeline(4, 100);
+    EXPECT_TRUE(validate(t).ok);
+    EXPECT_TRUE(check_serializability(t).serializable);
+    EXPECT_FALSE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, StarSerializableWithoutInjection)
+{
+    gen::StarOptions opts;
+    opts.rounds = 100;
+    Trace t = gen::make_star(opts);
+    EXPECT_TRUE(validate(t).ok);
+    EXPECT_FALSE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, StarWithInjectionViolates)
+{
+    gen::StarOptions opts;
+    opts.rounds = 100;
+    opts.violation_at_end = true;
+    Trace t = gen::make_star(opts);
+    EXPECT_TRUE(validate(t).ok);
+    EXPECT_TRUE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, IndependentSerializable)
+{
+    Trace t = gen::make_independent(6, 50, 8);
+    EXPECT_TRUE(validate(t).ok);
+    EXPECT_TRUE(check_serializability(t).serializable);
+    EXPECT_FALSE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, ReaderMeshSerializable)
+{
+    Trace t = gen::make_reader_mesh(5, 100);
+    EXPECT_TRUE(validate(t).ok);
+    EXPECT_TRUE(check_serializability(t).serializable);
+    EXPECT_FALSE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, NaiveSpecViolatesWithSharedTraffic)
+{
+    gen::NaiveSpecOptions opts;
+    opts.threads = 4;
+    opts.events_per_thread = 2000;
+    Trace t = gen::make_naive_spec(opts);
+    EXPECT_TRUE(validate(t).ok);
+    EXPECT_FALSE(check_serializability(t).serializable);
+    EXPECT_TRUE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, NaiveSpecSingleThreadSerializable)
+{
+    gen::NaiveSpecOptions opts;
+    opts.threads = 1;
+    opts.events_per_thread = 2000;
+    Trace t = gen::make_naive_spec(opts);
+    EXPECT_TRUE(check_serializability(t).serializable);
+    EXPECT_FALSE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, PhilosophersSerializable)
+{
+    Trace t = gen::make_philosophers(5, 10);
+    EXPECT_TRUE(validate(t).ok);
+    EXPECT_TRUE(check_serializability(t).serializable);
+    EXPECT_FALSE(aerodrome_verdict(t));
+}
+
+TEST(Patterns, ForkJoinTreeSerializable)
+{
+    for (uint32_t depth : {1u, 2u, 3u, 4u}) {
+        gen::ForkJoinTreeOptions opts;
+        opts.depth = depth;
+        Trace t = gen::make_fork_join_tree(opts);
+        EXPECT_TRUE(validate(t).ok) << "depth " << depth;
+        EXPECT_TRUE(check_serializability(t).serializable)
+            << "depth " << depth;
+        EXPECT_FALSE(aerodrome_verdict(t)) << "depth " << depth;
+    }
+}
+
+TEST(Patterns, ForkJoinTreeCombineRaceViolates)
+{
+    for (uint32_t depth : {2u, 3u, 4u}) {
+        gen::ForkJoinTreeOptions opts;
+        opts.depth = depth;
+        opts.combine_before_join = true;
+        Trace t = gen::make_fork_join_tree(opts);
+        EXPECT_TRUE(validate(t).ok) << "depth " << depth;
+        EXPECT_FALSE(check_serializability(t).serializable)
+            << "depth " << depth;
+        EXPECT_TRUE(aerodrome_verdict(t)) << "depth " << depth;
+    }
+}
+
+TEST(Patterns, ForkJoinTreeThreadCount)
+{
+    gen::ForkJoinTreeOptions opts;
+    opts.depth = 3;
+    Trace t = gen::make_fork_join_tree(opts);
+    EXPECT_EQ(t.num_threads(), 7u);
+}
+
+TEST(Patterns, AppendRingIntoExistingTrace)
+{
+    Trace t = gen::make_independent(3, 10, 4);
+    size_t before = t.size();
+    gen::append_ring(t, 2, 0, 1000);
+    EXPECT_EQ(t.size(), before + 8);
+    EXPECT_FALSE(check_serializability(t).serializable);
+}
+
+// --- Strict 2PL soundness sweep ----------------------------------------------
+
+struct TwoPlParams {
+    uint64_t seed;
+    uint32_t threads;
+    uint32_t vars;
+    uint32_t locks;
+    sim::Policy policy;
+};
+
+class TwoPlSweep : public ::testing::TestWithParam<TwoPlParams> {};
+
+TEST_P(TwoPlSweep, AlwaysSerializable)
+{
+    const auto& p = GetParam();
+    gen::TwoPlOptions opts;
+    opts.seed = p.seed;
+    opts.threads = p.threads;
+    opts.shared_vars = p.vars;
+    opts.locks = p.locks;
+    opts.txns_per_thread = 30;
+    sim::Program prog = gen::make_twopl_program(opts);
+
+    sim::SchedulerOptions sched;
+    sched.seed = p.seed + 1;
+    sched.policy = p.policy;
+    sim::SimResult sim = sim::run_program(prog, sched);
+    ASSERT_FALSE(sim.deadlocked);
+
+    ValidatorOptions vopts;
+    vopts.require_closed_transactions = true;
+    vopts.require_released_locks = true;
+    EXPECT_TRUE(validate(sim.trace, vopts).ok);
+
+    EXPECT_TRUE(check_serializability(sim.trace).serializable);
+    EXPECT_FALSE(aerodrome_verdict(sim.trace));
+    Velodrome v(sim.trace.num_threads(), sim.trace.num_vars(),
+                sim.trace.num_locks());
+    EXPECT_FALSE(run_checker(v, sim.trace).violation);
+}
+
+std::vector<TwoPlParams>
+twopl_params()
+{
+    std::vector<TwoPlParams> out;
+    uint64_t seed = 500;
+    for (uint32_t threads : {2u, 4u, 7u}) {
+        for (uint32_t vars : {4u, 16u}) {
+            for (uint32_t locks : {1u, 3u}) {
+                for (sim::Policy pol :
+                     {sim::Policy::kRandom, sim::Policy::kSticky}) {
+                    out.push_back({seed++, threads, vars, locks, pol});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TwoPlSweep,
+                         ::testing::ValuesIn(twopl_params()));
+
+// --- Benchmark models ----------------------------------------------------------
+
+class Table1Models : public ::testing::TestWithParam<size_t> {};
+class Table2Models : public ::testing::TestWithParam<size_t> {};
+
+double
+test_scale(const gen::BenchModel& m)
+{
+    // Down-scale for test time but keep at least ~30K events so that
+    // probabilistic violations (naive models) still materialize.
+    double s = 30000.0 / static_cast<double>(m.events);
+    return std::min(1.0, std::max(0.02, s));
+}
+
+bool
+velodrome_verdict(const Trace& t)
+{
+    Velodrome v(t.num_threads(), t.num_vars(), t.num_locks());
+    return run_checker(v, t).violation;
+}
+
+TEST_P(Table1Models, VerdictMatchesRow)
+{
+    const gen::BenchModel& m = gen::table1_models()[GetParam()];
+    Trace t = gen::build_model_trace_scaled(m, test_scale(m));
+    EXPECT_TRUE(validate(t).ok) << m.name;
+    EXPECT_EQ(aerodrome_verdict(t), m.violation) << m.name;
+    EXPECT_EQ(velodrome_verdict(t), m.violation) << m.name;
+}
+
+TEST_P(Table2Models, VerdictMatchesRow)
+{
+    const gen::BenchModel& m = gen::table2_models()[GetParam()];
+    Trace t = gen::build_model_trace_scaled(m, test_scale(m));
+    EXPECT_TRUE(validate(t).ok) << m.name;
+    EXPECT_EQ(aerodrome_verdict(t), m.violation) << m.name;
+    EXPECT_EQ(velodrome_verdict(t), m.violation) << m.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rows, Table1Models,
+    ::testing::Range<size_t>(0, gen::table1_models().size()));
+INSTANTIATE_TEST_SUITE_P(
+    Rows, Table2Models,
+    ::testing::Range<size_t>(0, gen::table2_models().size()));
+
+TEST(BenchModels, RowCountsMatchPaperTables)
+{
+    EXPECT_EQ(gen::table1_models().size(), 14u);
+    EXPECT_EQ(gen::table2_models().size(), 7u);
+}
+
+TEST(BenchModels, ScalingChangesEventCount)
+{
+    const gen::BenchModel& m = gen::table1_models()[0];
+    Trace small = gen::build_model_trace_scaled(m, 0.01);
+    Trace big = gen::build_model_trace_scaled(m, 0.05);
+    EXPECT_LT(small.size() * 2, big.size());
+}
+
+TEST(BenchModels, ThreadCountsRoughlyRespected)
+{
+    for (const auto& m : gen::table1_models()) {
+        Trace t = gen::build_model_trace_scaled(m, 0.01);
+        MetaInfo info = compute_metainfo(t);
+        EXPECT_LE(info.threads, m.threads + 1) << m.name;
+        EXPECT_GE(info.threads, std::min<uint32_t>(m.threads, 2)) << m.name;
+    }
+}
+
+} // namespace
+} // namespace aero

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the offline conflict-serializability oracle: Definition 1
+ * semantics, graph construction (transitive subsumption of old conflicts),
+ * and the Theorem 3 "detectable with one open transaction" classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gen/patterns.hpp"
+#include "oracle/serializability_oracle.hpp"
+#include "trace/builder.hpp"
+
+namespace aero {
+namespace {
+
+TEST(Oracle, EmptyTraceSerializable)
+{
+    Trace t;
+    OracleResult r = check_serializability(t);
+    EXPECT_TRUE(r.serializable);
+    EXPECT_EQ(r.num_transactions, 0u);
+}
+
+TEST(Oracle, SingleThreadAlwaysSerializable)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 5; ++i) {
+        b.begin("t1").write("t1", "x").read("t1", "x").end("t1");
+        b.write("t1", "y"); // unary
+    }
+    EXPECT_TRUE(check_serializability(b.trace()).serializable);
+}
+
+TEST(Oracle, RingsOfAllSizesViolate)
+{
+    for (uint32_t k = 2; k <= 8; ++k) {
+        OracleResult r = check_serializability(gen::make_ring(k));
+        EXPECT_FALSE(r.serializable) << "ring size " << k;
+        EXPECT_TRUE(r.detectable_with_one_open);
+        EXPECT_EQ(r.witness_scc.size(), k) << "ring size " << k;
+    }
+}
+
+TEST(Oracle, PipelineSerializable)
+{
+    EXPECT_TRUE(
+        check_serializability(gen::make_pipeline(5, 50)).serializable);
+}
+
+TEST(Oracle, StarSerializableUnlessInjected)
+{
+    gen::StarOptions opts;
+    opts.rounds = 50;
+    EXPECT_TRUE(check_serializability(gen::make_star(opts)).serializable);
+    opts.violation_at_end = true;
+    EXPECT_FALSE(check_serializability(gen::make_star(opts)).serializable);
+}
+
+TEST(Oracle, TransitiveSubsumption)
+{
+    // w(x) by T1, w(x) by T2, r(x) by T3: the old T1->T3 conflict is
+    // implied through T2; the graph needs only the last-writer edges and
+    // must still find the T3->T1 cycle when T1 later reads T3's output.
+    TraceBuilder b;
+    b.begin("t1").begin("t2").begin("t3");
+    b.write("t1", "x");
+    b.write("t2", "x");
+    b.read("t3", "x");
+    b.write("t3", "y");
+    b.read("t1", "y"); // T3 -> T1, closing T1 -> T2 -> T3 -> T1
+    b.end("t1").end("t2").end("t3");
+    OracleResult r = check_serializability(b.trace());
+    EXPECT_FALSE(r.serializable);
+    EXPECT_EQ(r.witness_scc.size(), 3u);
+}
+
+TEST(Oracle, ReadsDoNotConflict)
+{
+    TraceBuilder b;
+    b.begin("t1").begin("t2");
+    b.read("t1", "x").read("t2", "x").read("t1", "x").read("t2", "x");
+    b.end("t1").end("t2");
+    EXPECT_TRUE(check_serializability(b.trace()).serializable);
+}
+
+TEST(Oracle, LockEdgesCountAsConflicts)
+{
+    // rel -> acq ordering in both directions between two transactions.
+    TraceBuilder b;
+    b.begin("t1").acquire("t1", "m").release("t1", "m");
+    b.begin("t2").acquire("t2", "m").release("t2", "m");
+    b.acquire("t1", "m").release("t1", "m");
+    b.end("t1").end("t2");
+    EXPECT_FALSE(check_serializability(b.trace()).serializable);
+}
+
+TEST(Oracle, ForkJoinEdges)
+{
+    // Child's transaction must come after the forking transaction and
+    // before the joining one; sandwiching the join inside the forking
+    // transaction with a data read-back creates a cycle.
+    TraceBuilder b;
+    b.begin("t0").fork("t0", "t1");
+    b.begin("t1").write("t1", "x").end("t1");
+    b.read("t0", "x").end("t0");
+    EXPECT_FALSE(check_serializability(b.trace()).serializable);
+}
+
+TEST(Oracle, CountsUnaryTransactions)
+{
+    TraceBuilder b;
+    b.write("t1", "a");                          // unary
+    b.begin("t1").write("t1", "b").end("t1");    // txn
+    b.read("t1", "a");                           // unary
+    OracleResult r = check_serializability(b.trace());
+    EXPECT_EQ(r.num_transactions, 3u);
+    EXPECT_TRUE(r.serializable);
+}
+
+// --- Theorem 3 classifier ---------------------------------------------------
+
+TEST(Oracle, TwoOpenTransactionsNotDetectable)
+{
+    TraceBuilder b;
+    b.begin("t1").begin("t2");
+    b.write("t1", "x").write("t2", "y");
+    b.read("t1", "y").read("t2", "x");
+    OracleResult r = check_serializability(b.trace());
+    EXPECT_FALSE(r.serializable);
+    EXPECT_FALSE(r.detectable_with_one_open);
+}
+
+TEST(Oracle, OneOpenTransactionDetectable)
+{
+    TraceBuilder b;
+    b.begin("t1").begin("t2");
+    b.write("t1", "x").write("t2", "y");
+    b.read("t1", "y").read("t2", "x");
+    b.end("t2");
+    OracleResult r = check_serializability(b.trace());
+    EXPECT_FALSE(r.serializable);
+    EXPECT_TRUE(r.detectable_with_one_open);
+}
+
+TEST(Oracle, AllCompleteDetectable)
+{
+    OracleResult r = check_serializability(gen::make_ring(4));
+    EXPECT_TRUE(r.detectable_with_one_open);
+}
+
+TEST(Oracle, MixedSccOneOpenCycleFound)
+{
+    // Three-node SCC where one cycle uses an open transaction but a
+    // two-node completed cycle also exists: detectable.
+    TraceBuilder b;
+    b.begin("t1").begin("t2").begin("t3");
+    b.write("t1", "x").read("t2", "x"); // T1 -> T2
+    b.write("t2", "y").read("t1", "y"); // T2 -> T1 (cycle, both open yet)
+    b.write("t3", "z");
+    b.read("t1", "z"); // T3 -> T1
+    b.write("t1", "w").read("t3", "w"); // T1 -> T3
+    b.end("t1").end("t2");
+    // t3 never ends: the T1<->T3 cycle has one open member; the T1<->T2
+    // cycle has zero.
+    OracleResult r = check_serializability(b.trace());
+    EXPECT_FALSE(r.serializable);
+    EXPECT_TRUE(r.detectable_with_one_open);
+    EXPECT_EQ(r.witness_scc.size(), 3u);
+}
+
+TEST(Oracle, EdgeAndNodeCounts)
+{
+    OracleResult r = check_serializability(gen::make_ring(3));
+    EXPECT_EQ(r.num_transactions, 3u);
+    // Ring edges w->r for each pair.
+    EXPECT_EQ(r.num_edges, 3u);
+}
+
+// --- Transaction info / witness reconstruction -------------------------------
+
+TEST(Oracle, TxnInfoDisabledByDefault)
+{
+    OracleResult r = check_serializability(gen::make_ring(3));
+    EXPECT_TRUE(r.txn_info.empty());
+}
+
+TEST(Oracle, TxnInfoDescribesWitness)
+{
+    OracleOptions opts;
+    opts.collect_txn_info = true;
+    Trace t = gen::make_ring(3);
+    OracleResult r = check_serializability(t, opts);
+    ASSERT_EQ(r.txn_info.size(), 3u);
+    for (uint32_t node : r.witness_scc) {
+        const TxnInfo& info = r.txn_info[node];
+        EXPECT_FALSE(info.unary);
+        EXPECT_TRUE(info.completed);
+        EXPECT_LT(info.thread, 3u);
+        EXPECT_LE(info.first_event, info.last_event);
+        // The recorded range really starts at that thread's begin.
+        EXPECT_EQ(t[info.first_event].op, Op::kBegin);
+        EXPECT_EQ(t[info.first_event].tid, info.thread);
+        EXPECT_EQ(t[info.last_event].op, Op::kEnd);
+    }
+}
+
+TEST(Oracle, TxnInfoMarksUnaryAndOpen)
+{
+    TraceBuilder b;
+    b.write("t0", "a");                      // node 0: unary
+    b.begin("t1").read("t1", "a");           // node 1: block, stays open
+    OracleOptions opts;
+    opts.collect_txn_info = true;
+    OracleResult r = check_serializability(b.trace(), opts);
+    ASSERT_EQ(r.txn_info.size(), 2u);
+    EXPECT_TRUE(r.txn_info[0].unary);
+    EXPECT_TRUE(r.txn_info[0].completed);
+    EXPECT_EQ(r.txn_info[0].first_event, 0u);
+    EXPECT_FALSE(r.txn_info[1].unary);
+    EXPECT_FALSE(r.txn_info[1].completed);
+    EXPECT_EQ(r.txn_info[1].first_event, 1u);
+    EXPECT_EQ(r.txn_info[1].last_event, 2u);
+}
+
+} // namespace
+} // namespace aero

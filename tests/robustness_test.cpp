@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Robustness: the checkers document a well-formedness *assumption*, but
+ * real instrumentation drops events (missed releases, truncated logs,
+ * torn fork/join pairs). The engines must never crash or corrupt memory
+ * on such input — verdicts on ill-formed traces are unspecified, crashes
+ * are bugs. This suite feeds systematically broken and randomly mutated
+ * traces to every engine and to the oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aerodrome/aerodrome_basic.hpp"
+#include "aerodrome/aerodrome_opt.hpp"
+#include "aerodrome/aerodrome_readopt.hpp"
+#include "aerodrome/aerodrome_tuned.hpp"
+#include "analysis/runner.hpp"
+#include "gen/random_program.hpp"
+#include "oracle/serializability_oracle.hpp"
+#include "sim/scheduler.hpp"
+#include "support/rng.hpp"
+#include "trace/builder.hpp"
+#include "trace/validator.hpp"
+#include "velodrome/velodrome.hpp"
+#include "velodrome/velodrome_pk.hpp"
+
+namespace aero {
+namespace {
+
+/** Run every engine and the oracle; the only requirement is no crash. */
+void
+exercise_all(const Trace& t)
+{
+    auto run_one = [&](auto&& checker) {
+        run_checker(checker, t);
+    };
+    run_one(AeroDromeBasic(t.num_threads(), t.num_vars(), t.num_locks()));
+    run_one(AeroDromeReadOpt(t.num_threads(), t.num_vars(),
+                             t.num_locks()));
+    run_one(AeroDromeOpt(t.num_threads(), t.num_vars(), t.num_locks()));
+    run_one(AeroDromeTuned(t.num_threads(), t.num_vars(), t.num_locks()));
+    run_one(Velodrome(t.num_threads(), t.num_vars(), t.num_locks()));
+    run_one(VelodromePK(t.num_threads(), t.num_vars(), t.num_locks()));
+    check_serializability(t);
+}
+
+TEST(Robustness, EmptyTrace)
+{
+    Trace t;
+    exercise_all(t);
+}
+
+TEST(Robustness, EndWithoutBegin)
+{
+    Trace t;
+    t.end(0);
+    t.end(0);
+    t.write(0, 0);
+    t.end(1);
+    exercise_all(t);
+}
+
+TEST(Robustness, UnmatchedBegins)
+{
+    Trace t;
+    t.begin(0);
+    t.begin(0);
+    t.begin(1);
+    t.write(0, 0);
+    t.read(1, 0);
+    exercise_all(t);
+}
+
+TEST(Robustness, ReleaseWithoutAcquire)
+{
+    Trace t;
+    t.release(0, 0);
+    t.release(1, 0);
+    t.acquire(0, 0);
+    t.release(0, 0);
+    exercise_all(t);
+}
+
+TEST(Robustness, DoubleAcquireAcrossThreads)
+{
+    Trace t;
+    t.acquire(0, 0);
+    t.acquire(1, 0); // exclusion violated by the (broken) logger
+    t.release(0, 0);
+    t.release(1, 0);
+    exercise_all(t);
+}
+
+TEST(Robustness, ForkAfterChildRan)
+{
+    Trace t;
+    t.write(1, 0);
+    t.fork(0, 1);
+    t.write(1, 0);
+    exercise_all(t);
+}
+
+TEST(Robustness, DoubleForkAndSelfJoin)
+{
+    Trace t;
+    t.fork(0, 1);
+    t.fork(2, 1);
+    t.join(1, 1); // nonsensical, must still not crash
+    exercise_all(t);
+}
+
+TEST(Robustness, EventsAfterJoin)
+{
+    Trace t;
+    t.write(1, 0);
+    t.join(0, 1);
+    t.write(1, 0);
+    t.join(0, 1);
+    exercise_all(t);
+}
+
+TEST(Robustness, LargeSparseIds)
+{
+    // Ids far beyond anything seen before must only grow state.
+    Trace t;
+    t.begin(0);
+    t.write(0, 1000);
+    t.acquire(0, 200);
+    t.release(0, 200);
+    t.fork(0, 50);
+    t.write(50, 1000);
+    t.end(0);
+    exercise_all(t);
+}
+
+/** Mutation fuzz: random edits of well-formed traces. */
+class MutationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationFuzz, NoCrashOnMutatedTraces)
+{
+    gen::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    opts.threads = 3 + GetParam() % 3;
+    opts.shared_vars = 4;
+    opts.locks = 2;
+    opts.steps_per_thread = 40;
+    sim::SimResult sim = sim::run_program(gen::make_random_program(opts));
+    ASSERT_FALSE(sim.deadlocked);
+
+    Rng rng(GetParam() * 77 + 5);
+    std::vector<Event> ev(sim.trace.events());
+    // Apply a handful of destructive mutations.
+    for (int m = 0; m < 8 && !ev.empty(); ++m) {
+        switch (rng.next_below(4)) {
+          case 0: // drop a random event
+            ev.erase(ev.begin() +
+                     static_cast<long>(rng.next_below(ev.size())));
+            break;
+          case 1: // duplicate a random event
+            ev.push_back(ev[rng.next_below(ev.size())]);
+            break;
+          case 2: { // swap two arbitrary events (may break everything)
+            size_t a = rng.next_below(ev.size());
+            size_t b = rng.next_below(ev.size());
+            std::swap(ev[a], ev[b]);
+            break;
+          }
+          case 3: { // retarget an event
+            Event& e = ev[rng.next_below(ev.size())];
+            e.target = static_cast<uint32_t>(rng.next_below(64));
+            break;
+          }
+        }
+    }
+    Trace mutated;
+    for (const Event& e : ev)
+        mutated.push(e);
+    // Well-formedness usually broken now; engines must survive anyway.
+    exercise_all(mutated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
+                         ::testing::Range<uint64_t>(4000, 4060));
+
+} // namespace
+} // namespace aero

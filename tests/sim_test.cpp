@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the concurrent-program simulator: statement semantics,
+ * lock blocking, fork/join gating, scheduling policies, determinism, and
+ * deadlock detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/program.hpp"
+#include "sim/scheduler.hpp"
+#include "support/assert.hpp"
+#include "trace/metainfo.hpp"
+#include "trace/validator.hpp"
+
+namespace aero::sim {
+namespace {
+
+TEST(Program, ThreadAccessorGrows)
+{
+    Program p;
+    p.thread(3).read(0);
+    EXPECT_EQ(p.threads.size(), 4u);
+    EXPECT_EQ(p.total_statements(), 1u);
+}
+
+TEST(Program, ValidateCatchesSelfFork)
+{
+    Program p;
+    p.thread(0).fork(0);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, ValidateCatchesDoubleFork)
+{
+    Program p;
+    p.thread(0).fork(1);
+    p.thread(2).fork(1);
+    p.thread(1).compute();
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, ValidateCatchesOutOfRangeTargets)
+{
+    Program p;
+    p.thread(0).fork(9);
+    EXPECT_THROW(p.validate(), FatalError);
+    Program q;
+    q.thread(0).join(9);
+    EXPECT_THROW(q.validate(), FatalError);
+}
+
+TEST(Scheduler, SingleThreadSequential)
+{
+    Program p;
+    auto& t = p.thread(0);
+    t.begin();
+    t.write(0);
+    t.read(0);
+    t.end();
+    SimResult r = run_program(p);
+    EXPECT_FALSE(r.deadlocked);
+    ASSERT_EQ(r.trace.size(), 4u);
+    EXPECT_EQ(r.trace[0].op, Op::kBegin);
+    EXPECT_EQ(r.trace[3].op, Op::kEnd);
+}
+
+TEST(Scheduler, ComputeEmitsNoEvent)
+{
+    Program p;
+    p.thread(0).compute();
+    p.thread(0).write(0);
+    p.thread(0).compute();
+    SimResult r = run_program(p);
+    EXPECT_EQ(r.trace.size(), 1u);
+    EXPECT_EQ(r.steps, 3u);
+}
+
+TEST(Scheduler, ForkGatesChildExecution)
+{
+    Program p;
+    p.thread(0).compute();
+    p.thread(0).fork(1);
+    p.thread(1).write(0);
+    SimResult r = run_program(p);
+    EXPECT_FALSE(r.deadlocked);
+    // The child's write must come after the fork event in the trace.
+    ASSERT_EQ(r.trace.size(), 2u);
+    EXPECT_EQ(r.trace[0].op, Op::kFork);
+    EXPECT_EQ(r.trace[1].op, Op::kWrite);
+}
+
+TEST(Scheduler, JoinWaitsForChild)
+{
+    Program p;
+    p.thread(0).fork(1);
+    p.thread(0).join(1);
+    p.thread(0).read(0);
+    for (int i = 0; i < 10; ++i)
+        p.thread(1).write(0);
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        SchedulerOptions opts;
+        opts.seed = seed;
+        SimResult r = run_program(p, opts);
+        EXPECT_FALSE(r.deadlocked);
+        // join must appear after all 10 child writes.
+        size_t join_pos = 0, last_write = 0;
+        for (size_t i = 0; i < r.trace.size(); ++i) {
+            if (r.trace[i].op == Op::kJoin)
+                join_pos = i;
+            if (r.trace[i].op == Op::kWrite)
+                last_write = i;
+        }
+        EXPECT_GT(join_pos, last_write);
+    }
+}
+
+TEST(Scheduler, LockMutualExclusion)
+{
+    Program p;
+    for (uint32_t t = 0; t < 3; ++t) {
+        auto& th = p.thread(t);
+        for (int i = 0; i < 20; ++i) {
+            th.acquire(0);
+            th.write(0);
+            th.release(0);
+        }
+    }
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+        SchedulerOptions opts;
+        opts.seed = seed;
+        SimResult r = run_program(p, opts);
+        EXPECT_FALSE(r.deadlocked);
+        EXPECT_TRUE(validate(r.trace).ok); // validator checks exclusion
+    }
+}
+
+TEST(Scheduler, DetectsLockDeadlock)
+{
+    // Classic AB-BA deadlock; with the round-robin quantum of 1 the two
+    // threads each grab one lock and then block.
+    Program p;
+    p.thread(0).acquire(0);
+    p.thread(0).acquire(1);
+    p.thread(0).release(1);
+    p.thread(0).release(0);
+    p.thread(1).acquire(1);
+    p.thread(1).acquire(0);
+    p.thread(1).release(0);
+    p.thread(1).release(1);
+    SchedulerOptions opts;
+    opts.policy = Policy::kRoundRobin;
+    opts.quantum = 1;
+    SimResult r = run_program(p, opts);
+    EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(Scheduler, DetectsJoinOfNeverForkedButFinishedIsFine)
+{
+    // Joining a thread that was runnable from the start and finished.
+    Program p;
+    p.thread(1).write(0);
+    p.thread(0).join(1);
+    SimResult r = run_program(p);
+    EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(Scheduler, DeterministicForSeed)
+{
+    Program p;
+    for (uint32_t t = 0; t < 4; ++t) {
+        for (int i = 0; i < 30; ++i) {
+            p.thread(t).begin();
+            p.thread(t).write(t);
+            p.thread(t).end();
+        }
+    }
+    SchedulerOptions opts;
+    opts.seed = 42;
+    Trace a = run_program(p, opts).trace;
+    Trace b = run_program(p, opts).trace;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]);
+    opts.seed = 43;
+    Trace c = run_program(p, opts).trace;
+    bool same = a.size() == c.size();
+    if (same) {
+        same = std::equal(a.events().begin(), a.events().end(),
+                          c.events().begin());
+    }
+    EXPECT_FALSE(same) << "different seeds should interleave differently";
+}
+
+TEST(Scheduler, RoundRobinRespectsQuantum)
+{
+    Program p;
+    for (uint32_t t = 0; t < 2; ++t) {
+        for (int i = 0; i < 8; ++i)
+            p.thread(t).write(t);
+    }
+    SchedulerOptions opts;
+    opts.policy = Policy::kRoundRobin;
+    opts.quantum = 4;
+    Trace tr = run_program(p, opts).trace;
+    ASSERT_EQ(tr.size(), 16u);
+    // Expect runs of exactly 4 events per thread.
+    for (size_t i = 0; i < tr.size(); i += 4) {
+        for (size_t j = 1; j < 4; ++j) {
+            EXPECT_EQ(tr[i + j].tid, tr[i].tid) << "at " << i + j;
+        }
+        if (i + 4 < tr.size()) {
+            EXPECT_NE(tr[i + 4].tid, tr[i].tid);
+        }
+    }
+}
+
+TEST(Scheduler, StickyProducesLongerRunsThanRandom)
+{
+    Program p;
+    for (uint32_t t = 0; t < 4; ++t) {
+        for (int i = 0; i < 200; ++i)
+            p.thread(t).write(t);
+    }
+    auto switches = [](const Trace& tr) {
+        size_t n = 0;
+        for (size_t i = 1; i < tr.size(); ++i)
+            n += tr[i].tid != tr[i - 1].tid;
+        return n;
+    };
+    SchedulerOptions sticky;
+    sticky.policy = Policy::kSticky;
+    sticky.stickiness = 0.95;
+    sticky.seed = 7;
+    SchedulerOptions rnd;
+    rnd.policy = Policy::kRandom;
+    rnd.seed = 7;
+    EXPECT_LT(switches(run_program(p, sticky).trace),
+              switches(run_program(p, rnd).trace) / 2);
+}
+
+TEST(Scheduler, EmitsWellFormedTracesUnderAllPolicies)
+{
+    Program p;
+    p.thread(0).fork(1);
+    p.thread(0).fork(2);
+    for (uint32_t t = 0; t < 3; ++t) {
+        auto& th = p.thread(t);
+        for (int i = 0; i < 10; ++i) {
+            th.begin();
+            th.acquire(0);
+            th.write(0);
+            th.release(0);
+            th.end();
+        }
+    }
+    p.thread(0).join(1);
+    p.thread(0).join(2);
+    for (Policy pol :
+         {Policy::kRoundRobin, Policy::kRandom, Policy::kSticky}) {
+        SchedulerOptions opts;
+        opts.policy = pol;
+        opts.seed = 11;
+        SimResult r = run_program(p, opts);
+        EXPECT_FALSE(r.deadlocked);
+        ValidatorOptions vopts;
+        vopts.require_closed_transactions = true;
+        vopts.require_released_locks = true;
+        EXPECT_TRUE(validate(r.trace, vopts).ok);
+    }
+}
+
+} // namespace
+} // namespace aero::sim

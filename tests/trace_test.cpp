@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Unit tests for the trace model: builder, name interning, validator,
+ * metainfo, and text/binary I/O round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/builder.hpp"
+#include "trace/metainfo.hpp"
+#include "trace/text_io.hpp"
+#include "trace/trace.hpp"
+#include "trace/validator.hpp"
+
+namespace aero {
+namespace {
+
+Trace
+rho2()
+{
+    // Figure 2 of the paper.
+    TraceBuilder b;
+    b.begin("t1").begin("t2");
+    b.write("t1", "x").read("t2", "x");
+    b.write("t2", "y").read("t1", "y");
+    b.end("t2").end("t1");
+    return b.take();
+}
+
+TEST(TraceBuilder, InternsNamesInOrder)
+{
+    Trace t = rho2();
+    EXPECT_EQ(t.num_threads(), 2u);
+    EXPECT_EQ(t.num_vars(), 2u);
+    EXPECT_EQ(t.num_locks(), 0u);
+    EXPECT_EQ(t.size(), 8u);
+    uint32_t id;
+    ASSERT_TRUE(t.threads().lookup("t1", id));
+    EXPECT_EQ(id, 0u);
+    ASSERT_TRUE(t.vars().lookup("y", id));
+    EXPECT_EQ(id, 1u);
+    EXPECT_FALSE(t.vars().lookup("zz", id));
+}
+
+TEST(TraceBuilder, EventContents)
+{
+    Trace t = rho2();
+    EXPECT_EQ(t[0], (Event{0, 0, Op::kBegin}));
+    EXPECT_EQ(t[2], (Event{0, 0, Op::kWrite}));
+    EXPECT_EQ(t[3], (Event{1, 0, Op::kRead}));
+    EXPECT_EQ(t[4], (Event{1, 1, Op::kWrite}));
+    EXPECT_EQ(t[7], (Event{0, 0, Op::kEnd}));
+}
+
+TEST(Trace, FormatEvent)
+{
+    TraceBuilder b;
+    b.begin("t1").acquire("t1", "m").write("t1", "x").fork("t1", "t2");
+    const Trace& t = b.trace();
+    EXPECT_EQ(t.format_event(t[0]), "t1 begin");
+    EXPECT_EQ(t.format_event(t[1]), "t1 acq m");
+    EXPECT_EQ(t.format_event(t[2]), "t1 w x");
+    EXPECT_EQ(t.format_event(t[3]), "t1 fork t2");
+}
+
+TEST(Trace, AutoNamesForNumericIds)
+{
+    Trace t;
+    t.write(3, 7);
+    EXPECT_EQ(t.num_threads(), 4u);
+    EXPECT_EQ(t.num_vars(), 8u);
+    EXPECT_EQ(t.format_event(t[0]), "t3 w x7");
+}
+
+// --- Validator ----------------------------------------------------------
+
+TEST(Validator, AcceptsWellFormed)
+{
+    TraceBuilder b;
+    b.fork("t0", "t1");
+    b.begin("t1").acquire("t1", "m").write("t1", "x");
+    b.release("t1", "m").end("t1");
+    b.join("t0", "t1");
+    EXPECT_TRUE(validate(b.trace()).ok);
+}
+
+TEST(Validator, RejectsReleaseWithoutHold)
+{
+    TraceBuilder b;
+    b.release("t0", "m");
+    auto r = validate(b.trace());
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.event_index, 0u);
+}
+
+TEST(Validator, RejectsCrossThreadAcquireOfHeldLock)
+{
+    TraceBuilder b;
+    b.acquire("t0", "m").acquire("t1", "m");
+    EXPECT_FALSE(validate(b.trace()).ok);
+}
+
+TEST(Validator, ReentrantAcquireOptional)
+{
+    TraceBuilder b;
+    b.acquire("t0", "m").acquire("t0", "m");
+    b.release("t0", "m").release("t0", "m");
+    EXPECT_FALSE(validate(b.trace()).ok);
+    ValidatorOptions opts;
+    opts.allow_reentrant_locks = true;
+    EXPECT_TRUE(validate(b.trace(), opts).ok);
+}
+
+TEST(Validator, ReentrantDepthMustMatch)
+{
+    TraceBuilder b;
+    b.acquire("t0", "m").acquire("t0", "m").release("t0", "m");
+    b.release("t0", "m").release("t0", "m"); // one release too many
+    ValidatorOptions opts;
+    opts.allow_reentrant_locks = true;
+    EXPECT_FALSE(validate(b.trace(), opts).ok);
+}
+
+TEST(Validator, RejectsEndWithoutBegin)
+{
+    TraceBuilder b;
+    b.end("t0");
+    EXPECT_FALSE(validate(b.trace()).ok);
+}
+
+TEST(Validator, AllowsNestedTransactions)
+{
+    TraceBuilder b;
+    b.begin("t0").begin("t0").read("t0", "x").end("t0").end("t0");
+    EXPECT_TRUE(validate(b.trace()).ok);
+}
+
+TEST(Validator, UnclosedTransactionOnlyWithStrictOption)
+{
+    TraceBuilder b;
+    b.begin("t0").read("t0", "x");
+    EXPECT_TRUE(validate(b.trace()).ok);
+    ValidatorOptions opts;
+    opts.require_closed_transactions = true;
+    auto r = validate(b.trace(), opts);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.event_index, b.trace().size());
+}
+
+TEST(Validator, HeldLockAtEndOnlyWithStrictOption)
+{
+    TraceBuilder b;
+    b.acquire("t0", "m");
+    EXPECT_TRUE(validate(b.trace()).ok);
+    ValidatorOptions opts;
+    opts.require_released_locks = true;
+    EXPECT_FALSE(validate(b.trace(), opts).ok);
+}
+
+TEST(Validator, RejectsForkAfterChildStarted)
+{
+    TraceBuilder b;
+    b.read("t1", "x").fork("t0", "t1");
+    EXPECT_FALSE(validate(b.trace()).ok);
+}
+
+TEST(Validator, RejectsDoubleFork)
+{
+    TraceBuilder b;
+    b.fork("t0", "t1").fork("t2", "t1");
+    EXPECT_FALSE(validate(b.trace()).ok);
+}
+
+TEST(Validator, RejectsEventsAfterJoin)
+{
+    TraceBuilder b;
+    b.read("t1", "x").join("t0", "t1").read("t1", "x");
+    EXPECT_FALSE(validate(b.trace()).ok);
+}
+
+TEST(Validator, RejectsSelfFork)
+{
+    Trace t;
+    t.fork(0, 0);
+    EXPECT_FALSE(validate(t).ok);
+}
+
+TEST(Validator, RejectsSelfJoin)
+{
+    Trace t;
+    t.join(0, 0);
+    EXPECT_FALSE(validate(t).ok);
+}
+
+// --- MetaInfo ------------------------------------------------------------
+
+TEST(MetaInfo, CountsBasics)
+{
+    Trace t = rho2();
+    MetaInfo info = compute_metainfo(t);
+    EXPECT_EQ(info.events, 8u);
+    EXPECT_EQ(info.threads, 2u);
+    EXPECT_EQ(info.vars, 2u);
+    EXPECT_EQ(info.locks, 0u);
+    EXPECT_EQ(info.transactions, 2u);
+    EXPECT_EQ(info.unary_events, 0u);
+    EXPECT_EQ(info.max_nesting, 1u);
+    EXPECT_EQ(info.per_op[static_cast<size_t>(Op::kWrite)], 2u);
+    EXPECT_EQ(info.per_op[static_cast<size_t>(Op::kRead)], 2u);
+    EXPECT_DOUBLE_EQ(info.avg_txn_events(), 2.0);
+}
+
+TEST(MetaInfo, UnaryAndNested)
+{
+    TraceBuilder b;
+    b.read("t0", "x");                       // unary
+    b.begin("t0").begin("t0");               // nested begin
+    b.write("t0", "x").end("t0").end("t0");  // txn of 3 inner events
+    b.write("t0", "y");                      // unary
+    MetaInfo info = compute_metainfo(b.trace());
+    EXPECT_EQ(info.transactions, 1u);
+    EXPECT_EQ(info.unary_events, 2u);
+    EXPECT_EQ(info.max_nesting, 2u);
+    EXPECT_EQ(info.max_txn_events, 3u); // inner begin, write, inner end
+}
+
+TEST(MetaInfo, PrintSmoke)
+{
+    std::ostringstream os;
+    print_metainfo(os, compute_metainfo(rho2()));
+    EXPECT_NE(os.str().find("events:"), std::string::npos);
+    EXPECT_NE(os.str().find("transactions:"), std::string::npos);
+}
+
+// --- Text I/O -------------------------------------------------------------
+
+TEST(TextIo, RoundTrip)
+{
+    TraceBuilder b;
+    b.fork("t0", "t1").begin("t1").acquire("t1", "m");
+    b.write("t1", "x").read("t1", "x").release("t1", "m");
+    b.end("t1").join("t0", "t1");
+    Trace original = b.take();
+
+    std::ostringstream os;
+    write_text(os, original);
+    std::istringstream is(os.str());
+    Trace parsed = read_text(is);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (size_t i = 0; i < parsed.size(); ++i)
+        EXPECT_EQ(parsed[i], original[i]) << "event " << i;
+}
+
+TEST(TextIo, ParsesCommentsAndBlankLines)
+{
+    std::istringstream is("# header\n\n t0 begin \nt0 w x\n# done\nt0 end\n");
+    Trace t = read_text(is);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[1].op, Op::kWrite);
+}
+
+TEST(TextIo, RejectsUnknownOp)
+{
+    std::istringstream is("t0 frobnicate x\n");
+    EXPECT_THROW(read_text(is), FatalError);
+}
+
+TEST(TextIo, RejectsMissingTarget)
+{
+    std::istringstream is("t0 w\n");
+    EXPECT_THROW(read_text(is), FatalError);
+}
+
+TEST(TextIo, RejectsTargetOnBegin)
+{
+    std::istringstream is("t0 begin x\n");
+    EXPECT_THROW(read_text(is), FatalError);
+}
+
+// --- Binary I/O -----------------------------------------------------------
+
+TEST(BinaryIo, RoundTrip)
+{
+    Trace original;
+    for (uint32_t i = 0; i < 1000; ++i) {
+        uint32_t t = i % 5;
+        original.begin(t);
+        original.write(t, i % 300);
+        original.acquire(t, i % 7);
+        original.release(t, i % 7);
+        original.read(t, (i * 13) % 300);
+        original.end(t);
+    }
+    original.fork(0, 4);
+
+    std::ostringstream os(std::ios::binary);
+    write_binary(os, original);
+    std::istringstream is(os.str(), std::ios::binary);
+    Trace parsed = read_binary(is);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed.num_threads(), original.num_threads());
+    EXPECT_EQ(parsed.num_vars(), original.num_vars());
+    EXPECT_EQ(parsed.num_locks(), original.num_locks());
+    for (size_t i = 0; i < parsed.size(); ++i)
+        ASSERT_EQ(parsed[i], original[i]) << "event " << i;
+}
+
+TEST(BinaryIo, RejectsBadMagic)
+{
+    std::istringstream is("NOTATRACE", std::ios::binary);
+    EXPECT_THROW(read_binary(is), FatalError);
+}
+
+TEST(BinaryIo, RejectsTruncation)
+{
+    Trace t;
+    t.write(0, 0);
+    std::ostringstream os(std::ios::binary);
+    write_binary(os, t);
+    std::string data = os.str();
+    data.resize(data.size() - 1);
+    std::istringstream is(data, std::ios::binary);
+    EXPECT_THROW(read_binary(is), FatalError);
+}
+
+} // namespace
+} // namespace aero

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the vector clock library (paper, Section 4 notation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vc/vector_clock.hpp"
+
+namespace aero {
+namespace {
+
+TEST(VectorClock, DefaultIsBottom)
+{
+    VectorClock v;
+    EXPECT_TRUE(v.is_bottom());
+    EXPECT_EQ(v.dim(), 0u);
+    EXPECT_EQ(v.get(0), 0u);
+    EXPECT_EQ(v.get(100), 0u);
+}
+
+TEST(VectorClock, SetAndGet)
+{
+    VectorClock v;
+    v.set(2, 5);
+    EXPECT_EQ(v.get(0), 0u);
+    EXPECT_EQ(v.get(2), 5u);
+    EXPECT_EQ(v.dim(), 3u);
+    EXPECT_FALSE(v.is_bottom());
+}
+
+TEST(VectorClock, SettingZeroBeyondDimIsNoop)
+{
+    VectorClock v;
+    v.set(5, 0);
+    EXPECT_EQ(v.dim(), 0u);
+}
+
+TEST(VectorClock, TickIncrements)
+{
+    VectorClock v;
+    v.tick(1);
+    v.tick(1);
+    EXPECT_EQ(v.get(1), 2u);
+}
+
+TEST(VectorClock, InitializerList)
+{
+    VectorClock v{2, 0, 1};
+    EXPECT_EQ(v.get(0), 2u);
+    EXPECT_EQ(v.get(1), 0u);
+    EXPECT_EQ(v.get(2), 1u);
+}
+
+TEST(VectorClock, JoinIsPointwiseMax)
+{
+    VectorClock a{2, 0, 1};
+    VectorClock b{1, 3};
+    a.join(b);
+    EXPECT_EQ(a, (VectorClock{2, 3, 1}));
+}
+
+TEST(VectorClock, JoinGrowsDimension)
+{
+    VectorClock a{1};
+    VectorClock b{0, 0, 7};
+    a.join(b);
+    EXPECT_EQ(a.get(2), 7u);
+    EXPECT_EQ(a.get(0), 1u);
+}
+
+TEST(VectorClock, JoinWithBottomIsIdentity)
+{
+    VectorClock a{4, 5};
+    VectorClock bot;
+    a.join(bot);
+    EXPECT_EQ(a, (VectorClock{4, 5}));
+}
+
+TEST(VectorClock, LeqReflexive)
+{
+    VectorClock a{1, 2, 3};
+    EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, LeqPointwise)
+{
+    VectorClock a{1, 2};
+    VectorClock b{2, 2, 1};
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClock, LeqIncomparable)
+{
+    VectorClock a{1, 0};
+    VectorClock b{0, 1};
+    EXPECT_FALSE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClock, BottomLeqEverything)
+{
+    VectorClock bot;
+    VectorClock b{0, 1};
+    EXPECT_TRUE(bot.leq(b));
+    EXPECT_TRUE(bot.leq(bot));
+}
+
+TEST(VectorClock, LeqDifferentDims)
+{
+    VectorClock a{1, 0, 0};
+    VectorClock b{1};
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_TRUE(b.leq(a));
+}
+
+TEST(VectorClock, LeqExceptSkipsComponent)
+{
+    VectorClock a{5, 1};
+    VectorClock b{0, 2};
+    EXPECT_FALSE(a.leq(b));
+    EXPECT_TRUE(a.leq_except(b, 0));
+    EXPECT_FALSE(a.leq_except(b, 1));
+}
+
+TEST(VectorClock, JoinExceptZeroesComponent)
+{
+    VectorClock a{1, 1, 1};
+    VectorClock b{9, 9, 9};
+    a.join_except(b, 1);
+    EXPECT_EQ(a, (VectorClock{9, 1, 9}));
+}
+
+TEST(VectorClock, JoinExceptGrowsDimension)
+{
+    VectorClock a;
+    VectorClock b{3, 4};
+    a.join_except(b, 0);
+    EXPECT_EQ(a, (VectorClock{0, 4}));
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros)
+{
+    VectorClock a{1, 2};
+    VectorClock b{1, 2, 0, 0};
+    EXPECT_EQ(a, b);
+    b.set(3, 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(VectorClock, ClearResetsToBottomKeepingDim)
+{
+    VectorClock a{1, 2};
+    a.clear();
+    EXPECT_TRUE(a.is_bottom());
+}
+
+TEST(VectorClock, ToString)
+{
+    VectorClock a{2, 0, 1};
+    EXPECT_EQ(a.to_string(), "<2,0,1>");
+    EXPECT_EQ(VectorClock{}.to_string(), "<>");
+}
+
+/** The paper's notation checks: bot[1/t] etc. */
+TEST(VectorClock, PaperInitialization)
+{
+    // C_t := bot[1/t] for thread t = 1 of 3.
+    VectorClock c(3);
+    c.set(1, 1);
+    EXPECT_EQ(c, (VectorClock{0, 1, 0}));
+}
+
+/** Join is commutative, associative, idempotent (property sweep). */
+TEST(VectorClock, JoinLatticeLaws)
+{
+    const VectorClock vs[] = {
+        {}, {1}, {0, 2}, {3, 1, 4}, {2, 2}, {0, 0, 0, 9},
+    };
+    for (const auto& a : vs) {
+        for (const auto& b : vs) {
+            VectorClock ab = a;
+            ab.join(b);
+            VectorClock ba = b;
+            ba.join(a);
+            EXPECT_EQ(ab, ba);
+            // a <= a |_| b and b <= a |_| b.
+            EXPECT_TRUE(a.leq(ab));
+            EXPECT_TRUE(b.leq(ab));
+            for (const auto& c : vs) {
+                VectorClock ab_c = ab;
+                ab_c.join(c);
+                VectorClock bc = b;
+                bc.join(c);
+                VectorClock a_bc = a;
+                a_bc.join(bc);
+                EXPECT_EQ(ab_c, a_bc);
+            }
+        }
+        VectorClock aa = a;
+        aa.join(a);
+        EXPECT_EQ(aa, a);
+    }
+}
+
+} // namespace
+} // namespace aero

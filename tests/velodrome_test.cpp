@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the Velodrome baseline: cycle detection, unary
+ * transactions, the garbage-collection optimization, and graph statistics
+ * (the quantities the paper quotes when explaining Velodrome's behavior,
+ * e.g. "13 nodes in the graph for pmd" vs "9000 for sunflow").
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.hpp"
+#include "gen/patterns.hpp"
+#include "trace/builder.hpp"
+#include "velodrome/velodrome.hpp"
+
+namespace aero {
+namespace {
+
+RunResult
+run(const Trace& trace, Velodrome& v)
+{
+    return run_checker(v, trace);
+}
+
+RunResult
+run(const Trace& trace, const VelodromeOptions& opts = {})
+{
+    Velodrome v(trace.num_threads(), trace.num_vars(), trace.num_locks(),
+                opts);
+    return run_checker(v, trace);
+}
+
+TEST(Velodrome, DetectsSimpleCycle)
+{
+    TraceBuilder b;
+    b.begin("t1").begin("t2");
+    b.write("t1", "x").read("t2", "x");
+    b.write("t2", "y").read("t1", "y");
+    b.end("t2").end("t1");
+    auto r = run(b.trace());
+    ASSERT_TRUE(r.violation);
+    EXPECT_EQ(r.details->event_index, 5u); // at t1's read of y
+}
+
+TEST(Velodrome, DetectsCycleBetweenOpenTransactions)
+{
+    // Unlike AeroDrome (Theorem 3), the graph algorithm reports cycles
+    // even when both transactions are still open.
+    TraceBuilder b;
+    b.begin("t1").begin("t2");
+    b.write("t1", "x").write("t2", "y");
+    b.read("t1", "y").read("t2", "x");
+    EXPECT_TRUE(run(b.trace()).violation);
+}
+
+TEST(Velodrome, SerializableLocking)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 3; ++i) {
+        b.begin("t1").acquire("t1", "m").write("t1", "x");
+        b.release("t1", "m").end("t1");
+        b.begin("t2").acquire("t2", "m").read("t2", "x");
+        b.release("t2", "m").end("t2");
+    }
+    EXPECT_FALSE(run(b.trace()).violation);
+}
+
+TEST(Velodrome, GcCollectsIndependentTransactions)
+{
+    Trace t = gen::make_independent(4, 50, 6);
+    Velodrome v(t.num_threads(), t.num_vars(), t.num_locks());
+    EXPECT_FALSE(run(t, v).violation);
+    // Transactions conflict with nothing foreign; after each end the node
+    // is reclaimed, so the live graph never exceeds #threads (their
+    // current transactions) by much.
+    EXPECT_LE(v.stats().max_live_nodes, 8u);
+    EXPECT_GT(v.stats().gc_deleted, 150u);
+}
+
+TEST(Velodrome, GcDisabledKeepsNodes)
+{
+    Trace t = gen::make_independent(4, 50, 6);
+    VelodromeOptions opts;
+    opts.garbage_collect = false;
+    Velodrome v(t.num_threads(), t.num_vars(), t.num_locks(), opts);
+    EXPECT_FALSE(run(t, v).violation);
+    EXPECT_EQ(v.stats().gc_deleted, 0u);
+    EXPECT_EQ(v.stats().max_live_nodes, v.stats().total_nodes);
+}
+
+TEST(Velodrome, GcOnOffSameVerdicts)
+{
+    for (uint32_t k : {2u, 3u, 5u}) {
+        Trace ring = gen::make_ring(k);
+        VelodromeOptions no_gc;
+        no_gc.garbage_collect = false;
+        EXPECT_TRUE(run(ring).violation);
+        EXPECT_TRUE(run(ring, no_gc).violation);
+    }
+    Trace pipe = gen::make_pipeline(4, 20);
+    VelodromeOptions no_gc;
+    no_gc.garbage_collect = false;
+    EXPECT_FALSE(run(pipe).violation);
+    EXPECT_FALSE(run(pipe, no_gc).violation);
+}
+
+TEST(Velodrome, PipelineFullyCollected)
+{
+    // The pipeline's wavefront schedule completes each transaction before
+    // its downstream reader begins, so GC cascades through the whole
+    // graph: an upstream node with no incoming edges is deleted at its
+    // end, the edge out of it is skipped, and the downstream node becomes
+    // collectible in turn.
+    Trace t = gen::make_pipeline(4, 100);
+    Velodrome v(t.num_threads(), t.num_vars(), t.num_locks());
+    EXPECT_FALSE(run(t, v).violation);
+    EXPECT_LE(v.stats().max_live_nodes, 8u);
+    EXPECT_GT(v.stats().gc_deleted, 300u);
+}
+
+TEST(Velodrome, StarDefeatsGcAndGrowsSuccessorSets)
+{
+    // In the star workload every producer/consumer transaction hangs off
+    // a still-active hub transaction, so nothing is ever collected, and
+    // each new producer -> hub edge re-traverses the hub's ever-growing
+    // consumer successor set: quadratic work on a serializable trace.
+    gen::StarOptions opts;
+    opts.producers = 2;
+    opts.consumers = 2;
+    opts.rounds = 200;
+    Trace t = gen::make_star(opts);
+    Velodrome v(t.num_threads(), t.num_vars(), t.num_locks());
+    EXPECT_FALSE(run(t, v).violation);
+    EXPECT_GT(v.stats().max_live_nodes, 700u); // ~4 txns/round survive
+    EXPECT_GT(v.stats().dfs_visits, 40000u);
+    // Collection only happens at the very end, when the hub and feeder
+    // transactions finally complete and the whole DAG cascades away; the
+    // damage (quadratic DFS work) is already done by then.
+}
+
+TEST(Velodrome, UnaryTransactionsChainButDontCycle)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 10; ++i)
+        b.write("t1", "x").read("t2", "x");
+    EXPECT_FALSE(run(b.trace()).violation);
+}
+
+TEST(Velodrome, UnaryParticipatesInCycle)
+{
+    // T1 -> unary -> T1 through t2's unary accesses.
+    TraceBuilder b;
+    b.begin("t1").write("t1", "x");
+    b.read("t2", "x");
+    b.write("t2", "y");
+    b.read("t1", "y");
+    b.end("t1");
+    EXPECT_TRUE(run(b.trace()).violation);
+}
+
+TEST(Velodrome, NestedBlocksUseOutermostOnly)
+{
+    TraceBuilder b;
+    b.begin("t1").begin("t1").write("t1", "x").end("t1");
+    b.read("t1", "x").end("t1");
+    b.begin("t2").read("t2", "x").end("t2");
+    EXPECT_FALSE(run(b.trace()).violation);
+}
+
+TEST(Velodrome, EdgeDeduplication)
+{
+    TraceBuilder b;
+    b.begin("t1");
+    for (int i = 0; i < 100; ++i)
+        b.write("t1", "x");
+    b.end("t1");
+    b.begin("t2");
+    for (int i = 0; i < 100; ++i)
+        b.read("t2", "x");
+    b.end("t2");
+    Trace t = b.take();
+    Velodrome v(t.num_threads(), t.num_vars(), t.num_locks());
+    EXPECT_FALSE(run(t, v).violation);
+    // One T1 -> T2 edge regardless of the hundred conflicting pairs.
+    EXPECT_LE(v.stats().total_edges, 2u);
+}
+
+TEST(Velodrome, StatsTrackTotals)
+{
+    Trace t = gen::make_ring(3);
+    Velodrome v(t.num_threads(), t.num_vars(), t.num_locks());
+    EXPECT_TRUE(run(t, v).violation);
+    EXPECT_EQ(v.stats().total_nodes, 3u);
+    EXPECT_GE(v.stats().total_edges, 3u);
+}
+
+TEST(Velodrome, DynamicGrowth)
+{
+    TraceBuilder b;
+    b.begin("t1").begin("t2");
+    b.write("t1", "x").read("t2", "x");
+    b.write("t2", "y").read("t1", "y");
+    b.end("t2").end("t1");
+    Trace t = b.take();
+    Velodrome v(0, 0, 0);
+    EXPECT_TRUE(run_checker(v, t).violation);
+}
+
+} // namespace
+} // namespace aero
