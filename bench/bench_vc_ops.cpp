@@ -4,14 +4,33 @@
  * non-end event costs O(|Thr|) (one vector-clock comparison + join), and
  * end events cost O(|Thr| + L + V') where V' is the update-set size.
  *
- * Google-benchmark binary; run with --benchmark_filter=... as usual.
+ * Two parts:
+ *
+ *  1. A standalone kernel comparison, ClockBank arena kernels vs. the
+ *     scalar VectorClock baseline, swept over clock dimensions. The sweep
+ *     mimics the engines' hot loops (end-event propagation: join/compare
+ *     one clock against a whole family), so it exercises the contiguous
+ *     layout, not just a single cached pair. Results are written to
+ *     BENCH_vc_ops.json (override with --json PATH) for the perf
+ *     trajectory.
+ *
+ *  2. The usual google-benchmark suite; run with --benchmark_filter=...
+ *     as usual. Pass --no-gbench to skip it.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "aerodrome/aerodrome_opt.hpp"
 #include "analysis/runner.hpp"
 #include "gen/patterns.hpp"
+#include "support/stopwatch.hpp"
+#include "vc/clock_bank.hpp"
 #include "vc/vector_clock.hpp"
 
 namespace {
@@ -26,6 +45,262 @@ make_clock(size_t dim, uint32_t salt)
         v.set(i, static_cast<ClockValue>((i * 2654435761u + salt) % 97));
     return v;
 }
+
+// --- Part 1: kernel comparison, bank vs. scalar ---------------------------
+
+struct KernelResult {
+    size_t dim = 0;
+    double scalar_ns = 0; ///< ns per clock-pair operation, scalar layout
+    double bank_ns = 0;   ///< ns per clock-pair operation, bank layout
+    double
+    speedup() const
+    {
+        return bank_ns > 0 ? scalar_ns / bank_ns : 0;
+    }
+};
+
+/** Clocks per family in the sweep: large enough to stream across rows,
+ *  small enough to stay cache-resident so the comparison measures the
+ *  kernels (compute + per-clock overheads), not DRAM bandwidth. */
+constexpr size_t kFamily = 256;
+
+/** Repeat `body()` until it has consumed ~`min_seconds`, and take the
+ *  best of three timed passes (the standard defense against scheduler
+ *  noise on shared machines); return ns per inner operation given
+ *  `ops_per_call`. */
+template <typename F>
+double
+time_ns_per_op(F&& body, size_t ops_per_call, double min_seconds = 0.1)
+{
+    // Warm up once, then scale the repeat count to the budget.
+    Stopwatch warm;
+    body();
+    double once = warm.elapsed_seconds();
+    size_t reps = once > 0 ? static_cast<size_t>(min_seconds / once) + 1 : 64;
+    double best = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+        Stopwatch watch;
+        for (size_t r = 0; r < reps; ++r)
+            body();
+        double total = watch.elapsed_seconds();
+        if (pass == 0 || total < best)
+            best = total;
+    }
+    return best / static_cast<double>(reps) /
+           static_cast<double>(ops_per_call) * 1e9;
+}
+
+/** A family of kFamily distinct clocks in the scalar layout. */
+std::vector<VectorClock>
+make_family(size_t dim)
+{
+    std::vector<VectorClock> family;
+    for (size_t i = 0; i < kFamily; ++i)
+        family.push_back(make_clock(dim, static_cast<uint32_t>(i)));
+    return family;
+}
+
+/** A bank with rows 0..kFamily-1 mirroring `family` (row kFamily spare). */
+ClockBank
+make_bank(const std::vector<VectorClock>& family, size_t dim)
+{
+    ClockBank bank(kFamily + 1, dim);
+    for (size_t i = 0; i < kFamily; ++i) {
+        for (size_t d = 0; d < dim; ++d)
+            bank[i].set(d, family[i].get(d));
+    }
+    return bank;
+}
+
+/** Join sweep: fold every clock of a family into one accumulator — the
+ *  shape of end-event propagation and of R_x/W_x maintenance. */
+KernelResult
+bench_join(size_t dim)
+{
+    KernelResult r;
+    r.dim = dim;
+
+    std::vector<VectorClock> scalar = make_family(dim);
+    VectorClock sacc(dim);
+    r.scalar_ns = time_ns_per_op(
+        [&] {
+            for (const auto& v : scalar)
+                sacc.join(v);
+            benchmark::DoNotOptimize(sacc);
+        },
+        kFamily);
+
+    ClockBank bank = make_bank(scalar, dim);
+    ClockRef bacc = bank[kFamily];
+    r.bank_ns = time_ns_per_op(
+        [&] {
+            for (size_t i = 0; i < kFamily; ++i)
+                bacc.join(bank[i]);
+            benchmark::DoNotOptimize(bank);
+        },
+        kFamily);
+    return r;
+}
+
+/** Leq sweep: compare one clock against a whole family. The probe clock
+ *  is below every family member, so neither implementation can take an
+ *  early exit — this measures full-scan comparison throughput. */
+KernelResult
+bench_leq(size_t dim)
+{
+    KernelResult r;
+    r.dim = dim;
+
+    std::vector<VectorClock> scalar = make_family(dim);
+    for (auto& v : scalar) {
+        for (size_t d = 0; d < dim; ++d)
+            v.set(d, v.get(d) + 100); // keep the probe below the family
+    }
+    VectorClock sprobe = make_clock(dim, 7);
+    bool sink = false;
+    r.scalar_ns = time_ns_per_op(
+        [&] {
+            for (const auto& v : scalar)
+                sink ^= sprobe.leq(v);
+            benchmark::DoNotOptimize(sink);
+        },
+        kFamily);
+
+    ClockBank bank = make_bank(scalar, dim);
+    ClockRef bprobe = bank[kFamily];
+    for (size_t d = 0; d < dim; ++d)
+        bprobe.set(d, sprobe.get(d));
+    r.bank_ns = time_ns_per_op(
+        [&] {
+            ConstClockRef probe = bank[kFamily];
+            for (size_t i = 0; i < kFamily; ++i)
+                sink ^= probe.leq(bank[i]);
+            benchmark::DoNotOptimize(sink);
+        },
+        kFamily);
+    return r;
+}
+
+/** join_except sweep (the hR_x update kernel). */
+KernelResult
+bench_join_except(size_t dim)
+{
+    KernelResult r;
+    r.dim = dim;
+
+    std::vector<VectorClock> scalar = make_family(dim);
+    VectorClock sacc(dim);
+    r.scalar_ns = time_ns_per_op(
+        [&] {
+            for (const auto& v : scalar)
+                sacc.join_except(v, dim / 2);
+            benchmark::DoNotOptimize(sacc);
+        },
+        kFamily);
+
+    ClockBank bank = make_bank(scalar, dim);
+    ClockRef bacc = bank[kFamily];
+    r.bank_ns = time_ns_per_op(
+        [&] {
+            for (size_t i = 0; i < kFamily; ++i)
+                bacc.join_except(bank[i], dim / 2);
+            benchmark::DoNotOptimize(bank);
+        },
+        kFamily);
+    return r;
+}
+
+/** Geometric mean of the speedups at dim >= 16 (the acceptance metric:
+ *  single-dim points on a shared box are noisy; the geomean across the
+ *  swept dims is the stable summary). */
+double
+geomean_dim16plus(const std::vector<KernelResult>& results)
+{
+    double log_sum = 0;
+    size_t n = 0;
+    for (const auto& r : results) {
+        if (r.dim >= 16 && r.speedup() > 0) {
+            log_sum += std::log(r.speedup());
+            ++n;
+        }
+    }
+    return n > 0 ? std::exp(log_sum / static_cast<double>(n)) : 0;
+}
+
+void
+append_results(std::string& out, const char* kernel,
+               const std::vector<KernelResult>& results, bool last)
+{
+    char buf[256];
+    out += "  \"";
+    out += kernel;
+    out += "\": {\"per_dim\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"dim\": %zu, \"scalar_ns_per_op\": %.2f, "
+                      "\"bank_ns_per_op\": %.2f, \"speedup\": %.2f}%s\n",
+                      r.dim, r.scalar_ns, r.bank_ns, r.speedup(),
+                      i + 1 < results.size() ? "," : "");
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  ], \"geomean_speedup_dim16plus\": %.2f}%s\n",
+                  geomean_dim16plus(results), last ? "" : ",");
+    out += buf;
+}
+
+int
+run_kernel_comparison(const std::string& json_path)
+{
+    const size_t dims[] = {4, 16, 32, 64, 256};
+
+    std::vector<KernelResult> join, leq, join_except;
+    for (size_t dim : dims) {
+        join.push_back(bench_join(dim));
+        leq.push_back(bench_leq(dim));
+        join_except.push_back(bench_join_except(dim));
+    }
+
+    std::printf("%-14s %6s %14s %14s %9s\n", "kernel", "dim", "scalar ns/op",
+                "bank ns/op", "speedup");
+    auto print = [](const char* name, const std::vector<KernelResult>& rs) {
+        for (const auto& r : rs) {
+            std::printf("%-14s %6zu %14.2f %14.2f %8.2fx\n", name, r.dim,
+                        r.scalar_ns, r.bank_ns, r.speedup());
+        }
+    };
+    print("join", join);
+    print("leq", leq);
+    print("join_except", join_except);
+
+    std::string out = "{\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  \"family_size\": %zu,\n", kFamily);
+    out += buf;
+#ifdef AERO_VC_X86_DISPATCH
+    out += vck::detail::kHaveAvx2 ? "  \"simd\": \"avx2\",\n"
+                                  : "  \"simd\": \"autovec\",\n";
+#else
+    out += "  \"simd\": \"autovec\",\n";
+#endif
+    append_results(out, "join", join, false);
+    append_results(out, "leq", leq, false);
+    append_results(out, "join_except", join_except, true);
+    out += "}\n";
+
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}
+
+// --- Part 2: google-benchmark suite ---------------------------------------
 
 void
 BM_VcJoin(benchmark::State& state)
@@ -42,6 +317,25 @@ BM_VcJoin(benchmark::State& state)
 BENCHMARK(BM_VcJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void
+BM_BankJoin(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    ClockBank bank(2, dim);
+    VectorClock a = make_clock(dim, 1);
+    VectorClock b = make_clock(dim, 2);
+    for (size_t d = 0; d < dim; ++d) {
+        bank[0].set(d, a.get(d));
+        bank[1].set(d, b.get(d));
+    }
+    for (auto _ : state) {
+        bank[0].join(bank[1]);
+        benchmark::DoNotOptimize(bank);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
 BM_VcLeq(benchmark::State& state)
 {
     size_t dim = static_cast<size_t>(state.range(0));
@@ -55,6 +349,26 @@ BM_VcLeq(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VcLeq)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_BankLeq(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    ClockBank bank(2, dim);
+    VectorClock a = make_clock(dim, 1);
+    VectorClock b = make_clock(dim, 2);
+    for (size_t d = 0; d < dim; ++d) {
+        bank[0].set(d, a.get(d));
+        bank[1].set(d, b.get(d));
+    }
+    bool r = false;
+    for (auto _ : state) {
+        r ^= ConstClockRef(bank[0]).leq(bank[1]);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankLeq)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void
 BM_VcJoinExcept(benchmark::State& state)
@@ -120,4 +434,48 @@ BENCHMARK(BM_AeroDromeEndEventFootprint)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    std::string json_path = "BENCH_vc_ops.json";
+    bool run_gbench = true;
+    bool json_requested = false;
+    bool gbench_flags = false;
+
+    // Strip our flags before handing argv to google-benchmark.
+    std::vector<char*> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+            json_requested = true;
+        } else if (std::strcmp(argv[i], "--no-gbench") == 0) {
+            run_gbench = false;
+        } else {
+            if (std::strncmp(argv[i], "--benchmark", 11) == 0)
+                gbench_flags = true;
+            passthrough.push_back(argv[i]);
+        }
+    }
+
+    // --benchmark_* flags mean the user wants the gbench suite: skip the
+    // ~5s kernel sweep so the recorded BENCH_vc_ops.json isn't clobbered
+    // as a side effect — unless --json explicitly asked for it.
+    if (json_requested || !gbench_flags) {
+        int rc = run_kernel_comparison(json_path);
+        if (rc != 0)
+            return rc;
+    }
+    if (!run_gbench)
+        return 0;
+
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,36 +6,67 @@ AeroDromeBasic::AeroDromeBasic(uint32_t num_threads, uint32_t num_vars,
                                uint32_t num_locks)
     : txns_(num_threads)
 {
-    c_.resize(num_threads);
-    cb_.resize(num_threads);
+    // Create every bank (r_ included) before grow_dim so the dimension is
+    // set bank-wide first, and rows are then allocated at the final
+    // stride in one layout pass.
+    r_.resize(num_vars);
+    grow_dim(num_threads);
+    c_.ensure_rows(num_threads);
+    cb_.ensure_rows(num_threads);
+    l_.ensure_rows(num_locks);
+    w_.ensure_rows(num_vars);
     for (uint32_t t = 0; t < num_threads; ++t)
         c_[t].set(t, 1); // C_t := bot[1/t]
-    l_.resize(num_locks);
-    w_.resize(num_vars);
-    r_.resize(num_vars);
     last_rel_thr_.assign(num_locks, kNoThread);
     last_w_thr_.assign(num_vars, kNoThread);
 }
 
 void
+AeroDromeBasic::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
+{
+    if (threads > 0)
+        ensure_thread(threads - 1);
+    if (vars > 0)
+        ensure_var(vars - 1);
+    if (locks > 0)
+        ensure_lock(locks - 1);
+}
+
+void
+AeroDromeBasic::grow_dim(size_t n)
+{
+    c_.ensure_dim(n);
+    cb_.ensure_dim(n);
+    l_.ensure_dim(n);
+    w_.ensure_dim(n);
+    for (auto& bank : r_)
+        bank.ensure_dim(n);
+}
+
+void
 AeroDromeBasic::ensure_thread(ThreadId t)
 {
-    if (t >= c_.size()) {
-        size_t old = c_.size();
-        c_.resize(t + 1);
-        cb_.resize(t + 1);
-        for (size_t u = old; u < c_.size(); ++u)
+    if (t >= c_.rows()) {
+        size_t old = c_.rows();
+        size_t n = t + 1;
+        grow_dim(n);
+        c_.ensure_rows(n);
+        cb_.ensure_rows(n);
+        for (size_t u = old; u < n; ++u)
             c_[u].set(u, 1);
-        txns_.ensure(t + 1);
+        txns_.ensure(static_cast<uint32_t>(n));
     }
 }
 
 void
 AeroDromeBasic::ensure_var(VarId x)
 {
-    if (x >= w_.size()) {
-        w_.resize(x + 1);
+    if (x >= w_.rows()) {
+        size_t old = r_.size();
+        w_.ensure_rows(x + 1);
         r_.resize(x + 1);
+        for (size_t i = old; i < r_.size(); ++i)
+            r_[i].ensure_dim(c_.dim());
         last_w_thr_.resize(x + 1, kNoThread);
     }
 }
@@ -43,15 +74,15 @@ AeroDromeBasic::ensure_var(VarId x)
 void
 AeroDromeBasic::ensure_lock(LockId l)
 {
-    if (l >= l_.size()) {
-        l_.resize(l + 1);
+    if (l >= l_.rows()) {
+        l_.ensure_rows(l + 1);
         last_rel_thr_.resize(l + 1, kNoThread);
     }
 }
 
 bool
-AeroDromeBasic::check_and_get(const VectorClock& clk, ThreadId t,
-                              size_t index, const char* reason)
+AeroDromeBasic::check_and_get(ConstClockRef clk, ThreadId t, size_t index,
+                              const char* reason)
 {
     ++stats_.comparisons;
     if (txns_.active(t) && cb_[t].leq(clk))
@@ -68,10 +99,10 @@ AeroDromeBasic::handle_end(ThreadId t, size_t index)
     // clock that is ordered after its begin event (Algorithm 1, lines
     // 38-46): this is what makes the timestamps prefix-relative and lets
     // later events observe paths through this (now completed) transaction.
-    const VectorClock& ct = c_[t];
-    const VectorClock& cbt = cb_[t];
+    ConstClockRef ct = c_[t];
+    ConstClockRef cbt = cb_[t];
 
-    for (ThreadId u = 0; u < c_.size(); ++u) {
+    for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u == t)
             continue;
         ++stats_.comparisons;
@@ -81,24 +112,25 @@ AeroDromeBasic::handle_end(ThreadId t, size_t index)
                 return true;
         }
     }
-    for (auto& ll : l_) {
+    for (LockId l = 0; l < l_.rows(); ++l) {
         ++stats_.comparisons;
-        if (cbt.leq(ll)) {
+        if (cbt.leq(l_[l])) {
             ++stats_.joins;
-            ll.join(ct);
+            l_[l].join(ct);
         }
     }
-    for (VarId x = 0; x < w_.size(); ++x) {
+    for (VarId x = 0; x < w_.rows(); ++x) {
         ++stats_.comparisons;
         if (cbt.leq(w_[x])) {
             ++stats_.joins;
             w_[x].join(ct);
         }
-        for (auto& rux : r_[x]) {
+        ClockBank& rx = r_[x];
+        for (size_t u = 0; u < rx.rows(); ++u) {
             ++stats_.comparisons;
-            if (cbt.leq(rux)) {
+            if (cbt.leq(rx[u])) {
                 ++stats_.joins;
-                rux.join(ct);
+                rx[u].join(ct);
             }
         }
     }
@@ -115,7 +147,7 @@ AeroDromeBasic::process(const Event& e, size_t index)
       case Op::kBegin:
         if (txns_.on_begin(t)) {
             c_[t].tick(t);
-            cb_[t] = c_[t];
+            cb_[t].assign(c_[t]);
         }
         return false;
 
@@ -135,7 +167,7 @@ AeroDromeBasic::process(const Event& e, size_t index)
 
       case Op::kRelease:
         ensure_lock(e.target);
-        l_[e.target] = c_[t];
+        l_[e.target].assign(c_[t]);
         last_rel_thr_[e.target] = t;
         return false;
 
@@ -160,10 +192,9 @@ AeroDromeBasic::process(const Event& e, size_t index)
                 return true;
             }
         }
-        auto& rx = r_[e.target];
-        if (rx.size() < c_.size())
-            rx.resize(c_.size());
-        rx[t] = c_[t];
+        ClockBank& rx = r_[e.target];
+        rx.ensure_rows(c_.rows());
+        rx[t].assign(c_[t]);
         return false;
       }
 
@@ -175,8 +206,8 @@ AeroDromeBasic::process(const Event& e, size_t index)
                 return true;
             }
         }
-        auto& rx = r_[e.target];
-        for (ThreadId u = 0; u < rx.size(); ++u) {
+        ClockBank& rx = r_[e.target];
+        for (ThreadId u = 0; u < rx.rows(); ++u) {
             if (u == t)
                 continue;
             if (check_and_get(rx[u], t, index,
@@ -184,7 +215,7 @@ AeroDromeBasic::process(const Event& e, size_t index)
                 return true;
             }
         }
-        w_[e.target] = c_[t];
+        w_[e.target].assign(c_[t]);
         last_w_thr_[e.target] = t;
         return false;
       }

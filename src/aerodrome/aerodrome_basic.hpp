@@ -23,6 +23,10 @@
  * variables, and threads at each end event — exactly the state layout of
  * Algorithm 1. See aerodrome_readopt.hpp and aerodrome_opt.hpp for the
  * paper's optimized versions (Algorithms 2 and 3).
+ *
+ * Clock storage is bank-based (vc/clock_bank.hpp): every clock family
+ * lives in one contiguous arena whose dimension is the number of threads
+ * seen so far, kept in sync across all banks by ensure_thread.
  */
 
 #include <cstdint>
@@ -31,6 +35,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
+#include "vc/clock_bank.hpp"
 #include "vc/vector_clock.hpp"
 
 namespace aero {
@@ -53,16 +58,27 @@ public:
 
     bool process(const Event& e, size_t index) override;
 
+    void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
+
     const AeroDromeStats& stats() const { return stats_; }
 
     /** Test hook: current clock of thread t (C_t). */
-    const VectorClock& clock_of(ThreadId t) const { return c_[t]; }
+    VectorClock clock_of(ThreadId t) const
+    {
+        return c_[t].to_vector_clock();
+    }
 
     /** Test hook: begin clock of thread t (C_t^b). */
-    const VectorClock& begin_clock_of(ThreadId t) const { return cb_[t]; }
+    VectorClock begin_clock_of(ThreadId t) const
+    {
+        return cb_[t].to_vector_clock();
+    }
 
     /** Test hook: last-write clock of variable x (W_x). */
-    const VectorClock& write_clock_of(VarId x) const { return w_[x]; }
+    VectorClock write_clock_of(VarId x) const
+    {
+        return w_[x].to_vector_clock();
+    }
 
 private:
     /**
@@ -71,23 +87,27 @@ private:
      * otherwise C_t := C_t |_| clk.
      * @return true iff a violation was declared.
      */
-    bool check_and_get(const VectorClock& clk, ThreadId t, size_t index,
+    bool check_and_get(ConstClockRef clk, ThreadId t, size_t index,
                        const char* reason);
 
     void ensure_thread(ThreadId t);
     void ensure_var(VarId x);
     void ensure_lock(LockId l);
 
+    /** Grow the clock dimension of every bank to n (threads seen). */
+    void grow_dim(size_t n);
+
     bool handle_end(ThreadId t, size_t index);
 
     TxnTracker txns_;
 
-    std::vector<VectorClock> c_;   // C_t
-    std::vector<VectorClock> cb_;  // C_t^begin
-    std::vector<VectorClock> l_;   // L_lock
-    std::vector<VectorClock> w_;   // W_var
-    /** r_[x][t] = R_{t,x}; inner vectors allocated on first read of x. */
-    std::vector<std::vector<VectorClock>> r_;
+    ClockBank c_;   // C_t, one row per thread
+    ClockBank cb_;  // C_t^begin, one row per thread
+    ClockBank l_;   // L_lock, one row per lock
+    ClockBank w_;   // W_var, one row per var
+    /** r_[x] holds R_{t,x} rows for variable x; rows materialize on the
+     *  first read of x (mirroring Algorithm 1's lazily-extended table). */
+    std::vector<ClockBank> r_;
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;

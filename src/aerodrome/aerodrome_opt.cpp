@@ -8,14 +8,15 @@ AeroDromeOpt::AeroDromeOpt(uint32_t num_threads, uint32_t num_vars,
                            uint32_t num_locks)
     : txns_(num_threads)
 {
-    c_.resize(num_threads);
-    cb_.resize(num_threads);
+    grow_dim(num_threads);
+    c_.ensure_rows(num_threads);
+    cb_.ensure_rows(num_threads);
+    l_.ensure_rows(num_locks);
+    w_.ensure_rows(num_vars);
+    rx_.ensure_rows(num_vars);
+    hrx_.ensure_rows(num_vars);
     for (uint32_t t = 0; t < num_threads; ++t)
         c_[t].set(t, 1);
-    l_.resize(num_locks);
-    w_.resize(num_vars);
-    rx_.resize(num_vars);
-    hrx_.resize(num_vars);
     last_rel_thr_.assign(num_locks, kNoThread);
     last_w_thr_.assign(num_vars, kNoThread);
     stale_write_.assign(num_vars, 0);
@@ -27,29 +28,53 @@ AeroDromeOpt::AeroDromeOpt(uint32_t num_threads, uint32_t num_vars,
 }
 
 void
+AeroDromeOpt::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
+{
+    if (threads > 0)
+        ensure_thread(threads - 1);
+    if (vars > 0)
+        ensure_var(vars - 1);
+    if (locks > 0)
+        ensure_lock(locks - 1);
+}
+
+void
+AeroDromeOpt::grow_dim(size_t n)
+{
+    c_.ensure_dim(n);
+    cb_.ensure_dim(n);
+    l_.ensure_dim(n);
+    w_.ensure_dim(n);
+    rx_.ensure_dim(n);
+    hrx_.ensure_dim(n);
+}
+
+void
 AeroDromeOpt::ensure_thread(ThreadId t)
 {
-    if (t >= c_.size()) {
-        size_t old = c_.size();
-        c_.resize(t + 1);
-        cb_.resize(t + 1);
-        upd_r_.resize(t + 1);
-        upd_w_.resize(t + 1);
-        parent_thread_.resize(t + 1, kNoThread);
-        parent_txn_seq_.resize(t + 1, 0);
-        for (size_t u = old; u < c_.size(); ++u)
+    if (t >= c_.rows()) {
+        size_t old = c_.rows();
+        size_t n = t + 1;
+        grow_dim(n);
+        c_.ensure_rows(n);
+        cb_.ensure_rows(n);
+        upd_r_.resize(n);
+        upd_w_.resize(n);
+        parent_thread_.resize(n, kNoThread);
+        parent_txn_seq_.resize(n, 0);
+        for (size_t u = old; u < n; ++u)
             c_[u].set(u, 1);
-        txns_.ensure(t + 1);
+        txns_.ensure(static_cast<uint32_t>(n));
     }
 }
 
 void
 AeroDromeOpt::ensure_var(VarId x)
 {
-    if (x >= w_.size()) {
-        w_.resize(x + 1);
-        rx_.resize(x + 1);
-        hrx_.resize(x + 1);
+    if (x >= w_.rows()) {
+        w_.ensure_rows(x + 1);
+        rx_.ensure_rows(x + 1);
+        hrx_.ensure_rows(x + 1);
         last_w_thr_.resize(x + 1, kNoThread);
         stale_write_.resize(x + 1, 0);
         stale_readers_.resize(x + 1);
@@ -59,16 +84,15 @@ AeroDromeOpt::ensure_var(VarId x)
 void
 AeroDromeOpt::ensure_lock(LockId l)
 {
-    if (l >= l_.size()) {
-        l_.resize(l + 1);
+    if (l >= l_.rows()) {
+        l_.ensure_rows(l + 1);
         last_rel_thr_.resize(l + 1, kNoThread);
     }
 }
 
 bool
-AeroDromeOpt::check_and_get(const VectorClock& check_clk,
-                            const VectorClock& join_clk, ThreadId t,
-                            size_t index, const char* reason)
+AeroDromeOpt::check_and_get(ConstClockRef check_clk, ConstClockRef join_clk,
+                            ThreadId t, size_t index, const char* reason)
 {
     ++stats_.comparisons;
     if (txns_.active(t) && begin_before(t, check_clk))
@@ -91,8 +115,8 @@ AeroDromeOpt::has_incoming_edge(ThreadId t) const
     }
     // Did C_t grow beyond C_t^b in any foreign component, i.e. did this
     // transaction receive an ordering from elsewhere since begin?
-    const VectorClock& ct = c_[t];
-    const VectorClock& cbt = cb_[t];
+    ConstClockRef ct = c_[t];
+    ConstClockRef cbt = cb_[t];
     for (size_t u = 0; u < ct.dim(); ++u) {
         if (u != t && ct.get(u) != cbt.get(u))
             return true;
@@ -108,7 +132,7 @@ AeroDromeOpt::has_incoming_edge(ThreadId t) const
     // candidate's begin clock is necessarily contained in C_t^b. So the
     // fast path stays sound-and-complete if we propagate whenever some
     // *other still-active* transaction's begin is visible in C_t^b.
-    for (ThreadId u = 0; u < c_.size(); ++u) {
+    for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u != t && txns_.active(u) && cb_[u].get(u) > 0 &&
             cb_[u].get(u) <= cbt.get(u)) {
             return true;
@@ -136,7 +160,7 @@ AeroDromeOpt::enroll_update_sets(ThreadId t, VarId x, bool is_write)
     // timestamps into R_x/W_x when they complete (Algorithm 3, lines 34-36
     // and 50-52). The one-component test keeps this O(|Thr|).
     auto& sets = is_write ? upd_w_ : upd_r_;
-    for (ThreadId u = 0; u < c_.size(); ++u) {
+    for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (txns_.active(u) && cb_[u].get(u) <= c_[t].get(u))
             sets[u].insert(x);
     }
@@ -170,10 +194,10 @@ AeroDromeOpt::handle_end(ThreadId t, size_t index)
     }
 
     ++opt_stats_.propagated_ends;
-    const VectorClock& ct = c_[t];
-    const VectorClock& cbt = cb_[t];
+    ConstClockRef ct = c_[t];
+    ConstClockRef cbt = cb_[t];
 
-    for (ThreadId u = 0; u < c_.size(); ++u) {
+    for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u == t)
             continue;
         ++stats_.comparisons;
@@ -185,11 +209,11 @@ AeroDromeOpt::handle_end(ThreadId t, size_t index)
             }
         }
     }
-    for (auto& ll : l_) {
+    for (LockId l = 0; l < l_.rows(); ++l) {
         ++stats_.comparisons;
-        if (cbt.get(t) <= ll.get(t)) {
+        if (cbt.get(t) <= l_[l].get(t)) {
             ++stats_.joins;
-            ll.join(ct);
+            l_[l].join(ct);
         }
     }
     for (VarId x : upd_w_[t].list) {
@@ -225,7 +249,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
       case Op::kBegin:
         if (txns_.on_begin(t)) {
             c_[t].tick(t);
-            cb_[t] = c_[t];
+            cb_[t].assign(c_[t]);
         }
         return false;
 
@@ -244,7 +268,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
 
       case Op::kRelease:
         ensure_lock(e.target);
-        l_[e.target] = c_[t];
+        l_[e.target].assign(c_[t]);
         last_rel_thr_[e.target] = t;
         return false;
 
@@ -265,7 +289,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
         const VarId x = e.target;
         ensure_var(x);
         if (last_w_thr_[x] != t) {
-            const VectorClock& wclk =
+            ConstClockRef wclk =
                 stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
             if (check_and_get(wclk, wclk, t, index,
                               "read saw conflicting write")) {
@@ -295,7 +319,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
         const VarId x = e.target;
         ensure_var(x);
         if (last_w_thr_[x] != t) {
-            const VectorClock& wclk =
+            ConstClockRef wclk =
                 stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
             if (check_and_get(wclk, wclk, t, index,
                               "write saw conflicting write")) {
@@ -312,7 +336,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
             ++opt_stats_.lazy_writes;
         } else {
             stale_write_[x] = 0;
-            w_[x] = c_[t];
+            w_[x].assign(c_[t]);
         }
         last_w_thr_[x] = t;
         enroll_update_sets(t, x, /*is_write=*/true);

@@ -6,38 +6,63 @@ AeroDromeReadOpt::AeroDromeReadOpt(uint32_t num_threads, uint32_t num_vars,
                                    uint32_t num_locks)
     : txns_(num_threads)
 {
-    c_.resize(num_threads);
-    cb_.resize(num_threads);
+    grow_dim(num_threads);
+    c_.ensure_rows(num_threads);
+    cb_.ensure_rows(num_threads);
+    l_.ensure_rows(num_locks);
+    w_.ensure_rows(num_vars);
+    rx_.ensure_rows(num_vars);
+    hrx_.ensure_rows(num_vars);
     for (uint32_t t = 0; t < num_threads; ++t)
         c_[t].set(t, 1);
-    l_.resize(num_locks);
-    w_.resize(num_vars);
-    rx_.resize(num_vars);
-    hrx_.resize(num_vars);
     last_rel_thr_.assign(num_locks, kNoThread);
     last_w_thr_.assign(num_vars, kNoThread);
 }
 
 void
+AeroDromeReadOpt::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
+{
+    if (threads > 0)
+        ensure_thread(threads - 1);
+    if (vars > 0)
+        ensure_var(vars - 1);
+    if (locks > 0)
+        ensure_lock(locks - 1);
+}
+
+void
+AeroDromeReadOpt::grow_dim(size_t n)
+{
+    c_.ensure_dim(n);
+    cb_.ensure_dim(n);
+    l_.ensure_dim(n);
+    w_.ensure_dim(n);
+    rx_.ensure_dim(n);
+    hrx_.ensure_dim(n);
+}
+
+void
 AeroDromeReadOpt::ensure_thread(ThreadId t)
 {
-    if (t >= c_.size()) {
-        size_t old = c_.size();
-        c_.resize(t + 1);
-        cb_.resize(t + 1);
-        for (size_t u = old; u < c_.size(); ++u)
+    if (t >= c_.rows()) {
+        size_t old = c_.rows();
+        size_t n = t + 1;
+        grow_dim(n);
+        c_.ensure_rows(n);
+        cb_.ensure_rows(n);
+        for (size_t u = old; u < n; ++u)
             c_[u].set(u, 1);
-        txns_.ensure(t + 1);
+        txns_.ensure(static_cast<uint32_t>(n));
     }
 }
 
 void
 AeroDromeReadOpt::ensure_var(VarId x)
 {
-    if (x >= w_.size()) {
-        w_.resize(x + 1);
-        rx_.resize(x + 1);
-        hrx_.resize(x + 1);
+    if (x >= w_.rows()) {
+        w_.ensure_rows(x + 1);
+        rx_.ensure_rows(x + 1);
+        hrx_.ensure_rows(x + 1);
         last_w_thr_.resize(x + 1, kNoThread);
     }
 }
@@ -45,15 +70,15 @@ AeroDromeReadOpt::ensure_var(VarId x)
 void
 AeroDromeReadOpt::ensure_lock(LockId l)
 {
-    if (l >= l_.size()) {
-        l_.resize(l + 1);
+    if (l >= l_.rows()) {
+        l_.ensure_rows(l + 1);
         last_rel_thr_.resize(l + 1, kNoThread);
     }
 }
 
 bool
-AeroDromeReadOpt::check_and_get(const VectorClock& check_clk,
-                                const VectorClock& join_clk, ThreadId t,
+AeroDromeReadOpt::check_and_get(ConstClockRef check_clk,
+                                ConstClockRef join_clk, ThreadId t,
                                 size_t index, const char* reason)
 {
     ++stats_.comparisons;
@@ -67,14 +92,15 @@ AeroDromeReadOpt::check_and_get(const VectorClock& check_clk,
 bool
 AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
 {
-    const VectorClock& ct = c_[t];
-    const VectorClock& cbt = cb_[t];
+    ConstClockRef ct = c_[t];
+    ConstClockRef cbt = cb_[t];
+    const ClockValue cbt_t = cbt.get(t);
 
-    for (ThreadId u = 0; u < c_.size(); ++u) {
+    for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u == t)
             continue;
         ++stats_.comparisons;
-        if (cbt.get(t) <= c_[u].get(t)) {
+        if (cbt_t <= c_[u].get(t)) {
             if (check_and_get(ct, ct, u, index,
                               "active peer ordered into completed "
                               "transaction")) {
@@ -82,21 +108,21 @@ AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
             }
         }
     }
-    for (auto& ll : l_) {
+    for (LockId l = 0; l < l_.rows(); ++l) {
         ++stats_.comparisons;
-        if (cbt.get(t) <= ll.get(t)) {
+        if (cbt_t <= l_[l].get(t)) {
             ++stats_.joins;
-            ll.join(ct);
+            l_[l].join(ct);
         }
     }
-    for (VarId x = 0; x < w_.size(); ++x) {
+    for (VarId x = 0; x < w_.rows(); ++x) {
         ++stats_.comparisons;
-        if (cbt.get(t) <= w_[x].get(t)) {
+        if (cbt_t <= w_[x].get(t)) {
             ++stats_.joins;
             w_[x].join(ct);
         }
         ++stats_.comparisons;
-        if (cbt.get(t) <= rx_[x].get(t)) {
+        if (cbt_t <= rx_[x].get(t)) {
             stats_.joins += 2;
             rx_[x].join(ct);
             hrx_[x].join_except(ct, t);
@@ -115,7 +141,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
       case Op::kBegin:
         if (txns_.on_begin(t)) {
             c_[t].tick(t);
-            cb_[t] = c_[t];
+            cb_[t].assign(c_[t]);
         }
         return false;
 
@@ -134,7 +160,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
 
       case Op::kRelease:
         ensure_lock(e.target);
-        l_[e.target] = c_[t];
+        l_[e.target].assign(c_[t]);
         last_rel_thr_[e.target] = t;
         return false;
 
@@ -175,7 +201,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
                           "write saw conflicting read")) {
             return true;
         }
-        w_[e.target] = c_[t];
+        w_[e.target].assign(c_[t]);
         last_w_thr_[e.target] = t;
         return false;
       }

@@ -20,6 +20,9 @@
  * and against a *join* of clocks that component-wise test is exactly
  * "exists u with C_t^b sqsubseteq R_{u,x}". For that reason every ordering
  * test in this variant uses the one-component form.
+ *
+ * All clock families live in contiguous ClockBank arenas (one row per
+ * thread/lock/var) whose shared dimension is the thread count.
  */
 
 #include <cstdint>
@@ -29,7 +32,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
-#include "vc/vector_clock.hpp"
+#include "vc/clock_bank.hpp"
 
 namespace aero {
 
@@ -43,6 +46,8 @@ public:
 
     bool process(const Event& e, size_t index) override;
 
+    void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
+
     const AeroDromeStats& stats() const { return stats_; }
 
 private:
@@ -51,13 +56,12 @@ private:
      * ordered before check_clk (one-component test); else join join_clk
      * into C_t.
      */
-    bool check_and_get(const VectorClock& check_clk,
-                       const VectorClock& join_clk, ThreadId t, size_t index,
-                       const char* reason);
+    bool check_and_get(ConstClockRef check_clk, ConstClockRef join_clk,
+                       ThreadId t, size_t index, const char* reason);
 
     /** One-component ordering test: C_t^b sqsubseteq clk. */
     bool
-    begin_before(ThreadId t, const VectorClock& clk) const
+    begin_before(ThreadId t, ConstClockRef clk) const
     {
         return cb_[t].get(t) <= clk.get(t);
     }
@@ -65,17 +69,18 @@ private:
     void ensure_thread(ThreadId t);
     void ensure_var(VarId x);
     void ensure_lock(LockId l);
+    void grow_dim(size_t n);
 
     bool handle_end(ThreadId t, size_t index);
 
     TxnTracker txns_;
 
-    std::vector<VectorClock> c_;
-    std::vector<VectorClock> cb_;
-    std::vector<VectorClock> l_;
-    std::vector<VectorClock> w_;
-    std::vector<VectorClock> rx_;  // R_x
-    std::vector<VectorClock> hrx_; // hR_x
+    ClockBank c_;   // one row per thread
+    ClockBank cb_;  // one row per thread
+    ClockBank l_;   // one row per lock
+    ClockBank w_;   // one row per var
+    ClockBank rx_;  // R_x, one row per var
+    ClockBank hrx_; // hR_x, one row per var
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;

@@ -8,14 +8,15 @@ AeroDromeTuned::AeroDromeTuned(uint32_t num_threads, uint32_t num_vars,
                                uint32_t num_locks)
     : txns_(num_threads)
 {
-    c_.resize(num_threads);
-    cb_.resize(num_threads);
+    grow_dim(num_threads);
+    c_.ensure_rows(num_threads);
+    cb_.ensure_rows(num_threads);
+    l_.ensure_rows(num_locks);
+    w_.ensure_rows(num_vars);
+    rx_.ensure_rows(num_vars);
+    hrx_.ensure_rows(num_vars);
     for (uint32_t t = 0; t < num_threads; ++t)
         c_[t].set(t, 1);
-    l_.resize(num_locks);
-    w_.resize(num_vars);
-    rx_.resize(num_vars);
-    hrx_.resize(num_vars);
     last_rel_thr_.assign(num_locks, kNoThread);
     last_w_thr_.assign(num_vars, kNoThread);
     stale_write_.assign(num_vars, 0);
@@ -35,31 +36,55 @@ AeroDromeTuned::AeroDromeTuned(uint32_t num_threads, uint32_t num_vars,
 }
 
 void
+AeroDromeTuned::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
+{
+    if (threads > 0)
+        ensure_thread(threads - 1);
+    if (vars > 0)
+        ensure_var(vars - 1);
+    if (locks > 0)
+        ensure_lock(locks - 1);
+}
+
+void
+AeroDromeTuned::grow_dim(size_t n)
+{
+    c_.ensure_dim(n);
+    cb_.ensure_dim(n);
+    l_.ensure_dim(n);
+    w_.ensure_dim(n);
+    rx_.ensure_dim(n);
+    hrx_.ensure_dim(n);
+}
+
+void
 AeroDromeTuned::ensure_thread(ThreadId t)
 {
-    if (t >= c_.size()) {
-        size_t old = c_.size();
-        c_.resize(t + 1);
-        cb_.resize(t + 1);
-        upd_r_.resize(t + 1);
-        upd_w_.resize(t + 1);
-        parent_thread_.resize(t + 1, kNoThread);
-        parent_txn_seq_.resize(t + 1, 0);
-        active_pos_.resize(t + 1, kNoActive);
-        clock_version_.resize(t + 1, 1);
-        for (size_t u = old; u < c_.size(); ++u)
+    if (t >= c_.rows()) {
+        size_t old = c_.rows();
+        size_t n = t + 1;
+        grow_dim(n);
+        c_.ensure_rows(n);
+        cb_.ensure_rows(n);
+        upd_r_.resize(n);
+        upd_w_.resize(n);
+        parent_thread_.resize(n, kNoThread);
+        parent_txn_seq_.resize(n, 0);
+        active_pos_.resize(n, kNoActive);
+        clock_version_.resize(n, 1);
+        for (size_t u = old; u < n; ++u)
             c_[u].set(u, 1);
-        txns_.ensure(t + 1);
+        txns_.ensure(static_cast<uint32_t>(n));
     }
 }
 
 void
 AeroDromeTuned::ensure_var(VarId x)
 {
-    if (x >= w_.size()) {
-        w_.resize(x + 1);
-        rx_.resize(x + 1);
-        hrx_.resize(x + 1);
+    if (x >= w_.rows()) {
+        w_.ensure_rows(x + 1);
+        rx_.ensure_rows(x + 1);
+        hrx_.ensure_rows(x + 1);
         last_w_thr_.resize(x + 1, kNoThread);
         stale_write_.resize(x + 1, 0);
         stale_readers_.resize(x + 1);
@@ -75,8 +100,8 @@ AeroDromeTuned::ensure_var(VarId x)
 void
 AeroDromeTuned::ensure_lock(LockId l)
 {
-    if (l >= l_.size()) {
-        l_.resize(l + 1);
+    if (l >= l_.rows()) {
+        l_.ensure_rows(l + 1);
         last_rel_thr_.resize(l + 1, kNoThread);
     }
 }
@@ -104,8 +129,8 @@ AeroDromeTuned::remove_active(ThreadId t)
 }
 
 bool
-AeroDromeTuned::check_and_get(const VectorClock& check_clk,
-                              const VectorClock& join_clk, ThreadId t,
+AeroDromeTuned::check_and_get(ConstClockRef check_clk,
+                              ConstClockRef join_clk, ThreadId t,
                               size_t index, const char* reason)
 {
     ++stats_.comparisons;
@@ -125,8 +150,8 @@ AeroDromeTuned::has_incoming_edge(ThreadId t) const
         txns_.seq(p) == parent_txn_seq_[t]) {
         return true;
     }
-    const VectorClock& ct = c_[t];
-    const VectorClock& cbt = cb_[t];
+    ConstClockRef ct = c_[t];
+    ConstClockRef cbt = cb_[t];
     for (size_t u = 0; u < ct.dim(); ++u) {
         if (u != t && ct.get(u) != cbt.get(u))
             return true;
@@ -195,10 +220,10 @@ AeroDromeTuned::handle_end(ThreadId t, size_t index)
     }
 
     ++opt_stats_.propagated_ends;
-    const VectorClock& ct = c_[t];
-    const VectorClock& cbt = cb_[t];
+    ConstClockRef ct = c_[t];
+    ConstClockRef cbt = cb_[t];
 
-    for (ThreadId u = 0; u < c_.size(); ++u) {
+    for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u == t)
             continue;
         ++stats_.comparisons;
@@ -210,11 +235,11 @@ AeroDromeTuned::handle_end(ThreadId t, size_t index)
             }
         }
     }
-    for (auto& ll : l_) {
+    for (LockId l = 0; l < l_.rows(); ++l) {
         ++stats_.comparisons;
-        if (cbt.get(t) <= ll.get(t)) {
+        if (cbt.get(t) <= l_[l].get(t)) {
             ++stats_.joins;
-            ll.join(ct);
+            l_[l].join(ct);
         }
     }
     for (VarId x : upd_w_[t].list) {
@@ -251,7 +276,7 @@ AeroDromeTuned::process(const Event& e, size_t index)
       case Op::kBegin:
         if (txns_.on_begin(t)) {
             c_[t].tick(t);
-            cb_[t] = c_[t];
+            cb_[t].assign(c_[t]);
             bump_clock_version(t);
             add_active(t);
         }
@@ -274,7 +299,7 @@ AeroDromeTuned::process(const Event& e, size_t index)
 
       case Op::kRelease:
         ensure_lock(e.target);
-        l_[e.target] = c_[t];
+        l_[e.target].assign(c_[t]);
         last_rel_thr_[e.target] = t;
         return false;
 
@@ -304,7 +329,7 @@ AeroDromeTuned::process(const Event& e, size_t index)
             return false;
         }
         if (last_w_thr_[x] != t) {
-            const VectorClock& wclk =
+            ConstClockRef wclk =
                 stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
             if (check_and_get(wclk, wclk, t, index,
                               "read saw conflicting write")) {
@@ -343,7 +368,7 @@ AeroDromeTuned::process(const Event& e, size_t index)
             return false;
         }
         if (last_w_thr_[x] != t) {
-            const VectorClock& wclk =
+            ConstClockRef wclk =
                 stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
             if (check_and_get(wclk, wclk, t, index,
                               "write saw conflicting write")) {
@@ -360,7 +385,7 @@ AeroDromeTuned::process(const Event& e, size_t index)
             ++opt_stats_.lazy_writes;
         } else {
             stale_write_[x] = 0;
-            w_[x] = c_[t];
+            w_[x].assign(c_[t]);
         }
         last_w_thr_[x] = t;
         ++var_version_[x];

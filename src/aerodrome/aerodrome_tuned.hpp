@@ -37,7 +37,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
-#include "vc/vector_clock.hpp"
+#include "vc/clock_bank.hpp"
 
 namespace aero {
 
@@ -59,17 +59,18 @@ public:
 
     bool process(const Event& e, size_t index) override;
 
+    void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
+
     const AeroDromeStats& stats() const { return stats_; }
     const AeroDromeOptStats& opt_stats() const { return opt_stats_; }
     const AeroDromeTunedStats& tuned_stats() const { return tuned_stats_; }
 
 private:
-    bool check_and_get(const VectorClock& check_clk,
-                       const VectorClock& join_clk, ThreadId t, size_t index,
-                       const char* reason);
+    bool check_and_get(ConstClockRef check_clk, ConstClockRef join_clk,
+                       ThreadId t, size_t index, const char* reason);
 
     bool
-    begin_before(ThreadId t, const VectorClock& clk) const
+    begin_before(ThreadId t, ConstClockRef clk) const
     {
         return cb_[t].get(t) <= clk.get(t);
     }
@@ -92,15 +93,16 @@ private:
     void ensure_thread(ThreadId t);
     void ensure_var(VarId x);
     void ensure_lock(LockId l);
+    void grow_dim(size_t n);
 
     TxnTracker txns_;
 
-    std::vector<VectorClock> c_;
-    std::vector<VectorClock> cb_;
-    std::vector<VectorClock> l_;
-    std::vector<VectorClock> w_;
-    std::vector<VectorClock> rx_;
-    std::vector<VectorClock> hrx_;
+    ClockBank c_;   // one row per thread
+    ClockBank cb_;  // one row per thread
+    ClockBank l_;   // one row per lock
+    ClockBank w_;   // one row per var
+    ClockBank rx_;  // R_x, one row per var
+    ClockBank hrx_; // hR_x, one row per var
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;

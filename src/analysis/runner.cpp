@@ -14,6 +14,12 @@ run_checker(AtomicityChecker& checker, const Trace& trace,
     const auto& events = trace.events();
     const bool limited = budget.max_seconds > 0;
 
+    // The trace knows its dimensions up front; let arena-backed engines
+    // size their clock banks once instead of re-laying them out as new
+    // thread/var/lock ids appear inside the timed loop.
+    checker.reserve(trace.num_threads(), trace.num_vars(),
+                    trace.num_locks());
+
     for (size_t i = 0; i < events.size(); ++i) {
         if (limited && (i % budget.check_interval) == 0 &&
             watch.elapsed_seconds() > budget.max_seconds) {

@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * FlatTable — a contiguous 2D table with amortized growth in both
+ * dimensions, the scalar-id sibling of ClockBank.
+ *
+ * The Velodrome engines keep a last-read node id per (variable, thread)
+ * pair; as `std::vector<std::vector<uint32_t>>` every variable costs a
+ * separate heap block and the per-write scan over readers chases a
+ * pointer per variable. FlatTable stores the whole matrix as one array
+ * with row index = variable and a column capacity that doubles (with one
+ * re-layout copy) when the thread count outgrows it, so a row scan is a
+ * single streaming read.
+ */
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace aero {
+
+template <typename T>
+class FlatTable {
+public:
+    FlatTable() = default;
+
+    FlatTable(size_t rows, size_t cols, T fill) : fill_(fill)
+    {
+        ensure_cols(cols);
+        ensure_rows(rows);
+    }
+
+    /** Set the value new cells are born with (default T{}). Must be
+     *  called before any growth to take effect uniformly. */
+    void set_fill(T fill) { fill_ = fill; }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Grow to at least n rows, new cells = fill. */
+    void
+    ensure_rows(size_t n)
+    {
+        if (n <= rows_)
+            return;
+        data_.resize(n * col_cap_, fill_);
+        rows_ = n;
+    }
+
+    /** Grow to at least n columns, new cells = fill. Re-lays out the
+     *  arena when n exceeds the current column capacity (amortized by
+     *  capacity doubling). */
+    void
+    ensure_cols(size_t n)
+    {
+        if (n <= cols_)
+            return;
+        if (n > col_cap_) {
+            size_t new_cap = col_cap_ < 4 ? 4 : col_cap_ * 2;
+            if (new_cap < n)
+                new_cap = n;
+            std::vector<T> fresh(rows_ * new_cap, fill_);
+            for (size_t r = 0; r < rows_; ++r) {
+                for (size_t c = 0; c < cols_; ++c)
+                    fresh[r * new_cap + c] = data_[r * col_cap_ + c];
+            }
+            data_ = std::move(fresh);
+            col_cap_ = new_cap;
+        }
+        cols_ = n;
+    }
+
+    T*
+    row(size_t r)
+    {
+        assert(r < rows_);
+        return data_.data() + r * col_cap_;
+    }
+
+    const T*
+    row(size_t r) const
+    {
+        assert(r < rows_);
+        return data_.data() + r * col_cap_;
+    }
+
+    T&
+    at(size_t r, size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * col_cap_ + c];
+    }
+
+    const T&
+    at(size_t r, size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * col_cap_ + c];
+    }
+
+private:
+    std::vector<T> data_;
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t col_cap_ = 0;
+    T fill_{};
+};
+
+} // namespace aero

@@ -12,7 +12,20 @@ Velodrome::Velodrome(uint32_t num_threads, uint32_t num_vars,
     last_.assign(num_threads, kNone);
     last_write_.assign(num_vars, kNone);
     last_rel_.assign(num_locks, kNone);
-    last_read_.assign(num_vars, std::vector<uint32_t>(num_threads, kNone));
+    last_read_.set_fill(kNone);
+    last_read_.ensure_cols(num_threads);
+    last_read_.ensure_rows(num_vars);
+}
+
+void
+Velodrome::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
+{
+    if (threads > 0)
+        ensure_thread(threads - 1);
+    if (vars > 0)
+        ensure_var(vars - 1);
+    if (locks > 0)
+        ensure_lock(locks - 1);
 }
 
 void
@@ -22,8 +35,7 @@ Velodrome::ensure_thread(ThreadId t)
         cur_.resize(t + 1, kNone);
         last_.resize(t + 1, kNone);
         txns_.ensure(t + 1);
-        for (auto& per_thread : last_read_)
-            per_thread.resize(cur_.size(), kNone);
+        last_read_.ensure_cols(cur_.size());
     }
 }
 
@@ -32,8 +44,8 @@ Velodrome::ensure_var(VarId x)
 {
     if (x >= last_write_.size()) {
         last_write_.resize(x + 1, kNone);
-        last_read_.resize(x + 1,
-                          std::vector<uint32_t>(cur_.size(), kNone));
+        last_read_.ensure_cols(cur_.size());
+        last_read_.ensure_rows(x + 1);
     }
 }
 
@@ -176,7 +188,7 @@ Velodrome::process(const Event& e, size_t index)
         ensure_var(e.target);
         uint32_t n = node_for_event(t);
         bool cycle = add_edge(last_write_[e.target], n);
-        last_read_[e.target][t] = n;
+        last_read_.at(e.target, t) = n;
         if (cur_[t] == kNone)
             on_complete(n);
         if (cycle)
@@ -188,10 +200,11 @@ Velodrome::process(const Event& e, size_t index)
         ensure_var(e.target);
         uint32_t n = node_for_event(t);
         bool cycle = add_edge(last_write_[e.target], n);
-        for (uint32_t node : last_read_[e.target]) {
+        const uint32_t* readers = last_read_.row(e.target);
+        for (size_t u = 0; u < last_read_.cols(); ++u) {
             if (cycle)
                 break;
-            cycle = add_edge(node, n);
+            cycle = add_edge(readers[u], n);
         }
         last_write_[e.target] = n;
         if (cur_[t] == kNone)

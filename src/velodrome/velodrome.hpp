@@ -32,6 +32,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
+#include "vc/flat_table.hpp"
 
 namespace aero {
 
@@ -72,6 +73,8 @@ public:
     std::string_view name() const override { return "Velodrome"; }
 
     bool process(const Event& e, size_t index) override;
+
+    void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
 
     const VelodromeStats& stats() const { return stats_; }
 
@@ -123,9 +126,11 @@ private:
     std::vector<uint32_t> last_; // most recent node per thread (also holds
                                  // the forking node for not-yet-started
                                  // children)
-    std::vector<uint32_t> last_write_;              // per var
-    std::vector<uint32_t> last_rel_;                // per lock
-    std::vector<std::vector<uint32_t>> last_read_;  // per var, per thread
+    std::vector<uint32_t> last_write_; // per var
+    std::vector<uint32_t> last_rel_;   // per lock
+    /** Last-read node per (var, thread), flattened into one arena so the
+     *  per-write reader scan streams one contiguous row. */
+    FlatTable<uint32_t> last_read_;
 
     uint32_t dfs_stamp_ = 0;
     std::vector<uint32_t> dfs_stack_;

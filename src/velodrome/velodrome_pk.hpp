@@ -32,6 +32,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
+#include "vc/flat_table.hpp"
 #include "velodrome/velodrome.hpp" // VelodromeOptions, VelodromeStats
 
 namespace aero {
@@ -45,6 +46,8 @@ public:
     std::string_view name() const override { return "Velodrome-PK"; }
 
     bool process(const Event& e, size_t index) override;
+
+    void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
 
     const VelodromeStats& stats() const { return stats_; }
 
@@ -94,7 +97,9 @@ private:
     std::vector<uint32_t> last_;
     std::vector<uint32_t> last_write_;
     std::vector<uint32_t> last_rel_;
-    std::vector<std::vector<uint32_t>> last_read_;
+    /** Last-read node per (var, thread), flattened into one arena so the
+     *  per-write reader scan streams one contiguous row. */
+    FlatTable<uint32_t> last_read_;
 
     uint32_t dfs_stamp_ = 0;
     std::vector<uint32_t> fwd_, bwd_, work_;

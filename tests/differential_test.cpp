@@ -17,6 +17,7 @@
 #include "aerodrome/aerodrome_basic.hpp"
 #include "aerodrome/aerodrome_opt.hpp"
 #include "aerodrome/aerodrome_readopt.hpp"
+#include "aerodrome/aerodrome_tuned.hpp"
 #include "analysis/runner.hpp"
 #include "gen/random_program.hpp"
 #include "oracle/serializability_oracle.hpp"
@@ -151,6 +152,65 @@ TEST_P(DifferentialSeedSweep, AllEnginesAgreeWithOracle)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeedSweep,
                          ::testing::Range<uint64_t>(1000, 1100));
+
+/**
+ * Event-for-event agreement of all four AeroDrome engines after the
+ * ClockBank migration, processing each fuzz trace in lockstep:
+ *
+ *  - readopt must return exactly what basic returns at *every* event
+ *    (Algorithm 2 is an exact reformulation of Algorithm 1);
+ *  - tuned must return exactly what opt returns at every event (the
+ *    fast paths are semantics-preserving by construction);
+ *  - opt may fire at-or-before basic (the lazy-write live-clock proxy
+ *    only ever *adds* orderings the end event would have propagated),
+ *    and the final verdicts of all four must coincide.
+ */
+class EngineLockstep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineLockstep, FourEnginesAgreeEventForEvent)
+{
+    DiffParams p{GetParam(), 4, 5, 2, 0.8, sim::Policy::kRandom};
+    Trace trace = generate(p);
+
+    AeroDromeBasic basic(trace.num_threads(), trace.num_vars(),
+                         trace.num_locks());
+    AeroDromeReadOpt readopt(trace.num_threads(), trace.num_vars(),
+                             trace.num_locks());
+    AeroDromeOpt opt(trace.num_threads(), trace.num_vars(),
+                     trace.num_locks());
+    AeroDromeTuned tuned(trace.num_threads(), trace.num_vars(),
+                         trace.num_locks());
+
+    const auto& events = trace.events();
+    bool basic_fired = false, opt_fired = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+        if (!basic_fired) {
+            bool b = basic.process(events[i], i);
+            bool r = readopt.process(events[i], i);
+            ASSERT_EQ(b, r) << "basic/readopt diverged at event " << i;
+            basic_fired = b;
+        }
+        if (!opt_fired) {
+            bool o = opt.process(events[i], i);
+            bool u = tuned.process(events[i], i);
+            ASSERT_EQ(o, u) << "opt/tuned diverged at event " << i;
+            opt_fired = o;
+        }
+    }
+    ASSERT_EQ(basic_fired, opt_fired) << "final verdicts diverged";
+    if (basic_fired) {
+        EXPECT_LE(opt.violation()->event_index,
+                  basic.violation()->event_index)
+            << "lazy engine fired after the eager one";
+        EXPECT_EQ(basic.violation()->event_index,
+                  readopt.violation()->event_index);
+        EXPECT_EQ(opt.violation()->event_index,
+                  tuned.violation()->event_index);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineLockstep,
+                         ::testing::Range<uint64_t>(1, 200));
 
 } // namespace
 } // namespace aero

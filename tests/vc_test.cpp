@@ -1,10 +1,15 @@
 /**
  * @file
- * Unit tests for the vector clock library (paper, Section 4 notation).
+ * Unit tests for the vector clock library (paper, Section 4 notation) and
+ * for the ClockBank contiguous arena, including randomized parity fuzzing
+ * of the bank kernels against the scalar VectorClock reference.
  */
 
 #include <gtest/gtest.h>
 
+#include "support/rng.hpp"
+#include "vc/clock_bank.hpp"
+#include "vc/flat_table.hpp"
 #include "vc/vector_clock.hpp"
 
 namespace aero {
@@ -202,6 +207,215 @@ TEST(VectorClock, JoinLatticeLaws)
         aa.join(a);
         EXPECT_EQ(aa, a);
     }
+}
+
+// --- ClockBank -----------------------------------------------------------
+
+TEST(ClockBank, DefaultIsEmpty)
+{
+    ClockBank bank;
+    EXPECT_EQ(bank.rows(), 0u);
+    EXPECT_EQ(bank.dim(), 0u);
+    EXPECT_EQ(bank.stride(), 0u);
+}
+
+TEST(ClockBank, RowsStartAtBottom)
+{
+    ClockBank bank(3, 5);
+    for (size_t i = 0; i < bank.rows(); ++i) {
+        EXPECT_TRUE(bank[i].is_bottom());
+        for (size_t d = 0; d < bank.dim(); ++d)
+            EXPECT_EQ(bank[i].get(d), 0u);
+    }
+}
+
+TEST(ClockBank, StrideIsCacheLinePadded)
+{
+    // 16 ClockValues = one 64-byte line; stride must round up to it.
+    EXPECT_EQ(ClockBank(1, 1).stride(), 16u);
+    EXPECT_EQ(ClockBank(1, 16).stride(), 16u);
+    EXPECT_EQ(ClockBank(1, 17).stride(), 32u);
+    ClockBank b(2, 5);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % 64, 0u);
+}
+
+TEST(ClockBank, SetGetTick)
+{
+    ClockBank bank(2, 4);
+    bank[0].set(1, 7);
+    bank[0].tick(1);
+    bank[1].tick(3);
+    EXPECT_EQ(bank[0].get(1), 8u);
+    EXPECT_EQ(bank[1].get(3), 1u);
+    EXPECT_EQ(bank[1].get(0), 0u);
+}
+
+TEST(ClockBank, GrowRowsPreservesContentAndZeroesNewRows)
+{
+    ClockBank bank(2, 4);
+    bank[0].set(2, 9);
+    bank[1].set(0, 3);
+    bank.ensure_rows(50); // force reallocation past the initial capacity
+    EXPECT_EQ(bank.rows(), 50u);
+    EXPECT_EQ(bank[0].get(2), 9u);
+    EXPECT_EQ(bank[1].get(0), 3u);
+    for (size_t i = 2; i < bank.rows(); ++i)
+        EXPECT_TRUE(bank[i].is_bottom());
+}
+
+TEST(ClockBank, GrowDimWithinStrideIsZeroFilled)
+{
+    ClockBank bank(2, 3);
+    bank[0].set(2, 5);
+    bank.ensure_dim(10); // still within the 16-component stride
+    EXPECT_EQ(bank.stride(), 16u);
+    EXPECT_EQ(bank[0].get(2), 5u);
+    for (size_t d = 3; d < 10; ++d)
+        EXPECT_EQ(bank[0].get(d), 0u);
+}
+
+TEST(ClockBank, GrowDimBeyondStrideRelayouts)
+{
+    ClockBank bank(3, 8);
+    for (size_t i = 0; i < 3; ++i)
+        bank[i].set(i, static_cast<ClockValue>(i + 1));
+    bank.ensure_dim(40); // past the one-line stride: re-layout copy
+    EXPECT_GE(bank.stride(), 48u);
+    EXPECT_EQ(bank.stride() % ClockBank::kLineValues, 0u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(bank[i].get(i), i + 1);
+        for (size_t d = 8; d < 40; ++d)
+            EXPECT_EQ(bank[i].get(d), 0u);
+    }
+}
+
+TEST(ClockBank, AssignCopiesAcrossBanks)
+{
+    ClockBank a(1, 6);
+    ClockBank b(1, 6);
+    a[0].set(4, 11);
+    b[0].assign(a[0]);
+    EXPECT_EQ(b[0].get(4), 11u);
+    a[0].set(4, 12); // copies are independent
+    EXPECT_EQ(b[0].get(4), 11u);
+}
+
+TEST(ClockBank, SelfJoinIsIdentity)
+{
+    ClockBank bank(1, 4);
+    bank[0].set(1, 3);
+    bank[0].join(bank[0]);
+    EXPECT_EQ(bank[0].get(1), 3u);
+}
+
+TEST(ClockBank, ToVectorClockRoundTrips)
+{
+    ClockBank bank(1, 3);
+    bank[0].set(0, 2);
+    bank[0].set(2, 1);
+    EXPECT_EQ(bank[0].to_vector_clock(), (VectorClock{2, 0, 1}));
+    EXPECT_EQ(bank[0].to_string(), "<2,0,1>");
+}
+
+/** Randomized parity fuzzing: every bank kernel must agree with the
+ *  scalar VectorClock implementation, across dimensions that exercise
+ *  both the small-n scalar path and the SIMD/vectorized path. */
+TEST(ClockBank, FuzzParityWithVectorClock)
+{
+    Rng rng(0xc10cba7eULL);
+    for (size_t dim : {1u, 3u, 8u, 16u, 17u, 33u, 64u, 100u}) {
+        for (int iter = 0; iter < 200; ++iter) {
+            VectorClock va(dim), vb(dim);
+            ClockBank bank(2, dim);
+            for (size_t d = 0; d < dim; ++d) {
+                // Small value range so leq outcomes are well mixed.
+                ClockValue x =
+                    static_cast<ClockValue>(rng.next_below(4));
+                ClockValue y =
+                    static_cast<ClockValue>(rng.next_below(4));
+                va.set(d, x);
+                vb.set(d, y);
+                bank[0].set(d, x);
+                bank[1].set(d, y);
+            }
+            size_t skip = rng.next_below(dim + 1); // may be == dim
+            EXPECT_EQ(bank[0].leq(bank[1]), va.leq(vb));
+            EXPECT_EQ(bank[1].leq(bank[0]), vb.leq(va));
+            EXPECT_EQ(bank[0].leq_except(bank[1], skip),
+                      va.leq_except(vb, skip));
+            EXPECT_EQ(bank[0].is_bottom(), va.is_bottom());
+
+            if (rng.next_bool()) {
+                bank[0].join(bank[1]);
+                va.join(vb);
+            } else {
+                bank[0].join_except(bank[1], skip);
+                va.join_except(vb, skip);
+            }
+            EXPECT_EQ(bank[0].to_vector_clock(), va)
+                << "dim=" << dim << " iter=" << iter;
+        }
+    }
+}
+
+/** The engines interleave dimension and row growth; parity must survive
+ *  arbitrary interleavings of grows and kernel applications. */
+TEST(ClockBank, FuzzGrowthParity)
+{
+    Rng rng(0x9e0ba27eULL);
+    for (int iter = 0; iter < 100; ++iter) {
+        ClockBank bank(2, 2);
+        VectorClock ref[2] = {VectorClock(2), VectorClock(2)};
+        size_t dim = 2;
+        for (int step = 0; step < 60; ++step) {
+            switch (rng.next_below(4)) {
+              case 0: { // grow the dimension
+                dim += rng.next_below(12);
+                bank.ensure_dim(dim);
+                break;
+              }
+              case 1: { // set a component
+                size_t row = rng.next_below(2);
+                size_t d = rng.next_below(dim);
+                ClockValue v =
+                    static_cast<ClockValue>(rng.next_below(100));
+                bank[row].set(d, v);
+                ref[row].set(d, v);
+                break;
+              }
+              case 2: { // join the rows
+                bank[0].join(bank[1]);
+                ref[0].join(ref[1]);
+                break;
+              }
+              case 3: { // compare
+                EXPECT_EQ(bank[0].leq(bank[1]), ref[0].leq(ref[1]));
+                break;
+              }
+            }
+        }
+        EXPECT_EQ(bank[0].to_vector_clock(), ref[0]);
+        EXPECT_EQ(bank[1].to_vector_clock(), ref[1]);
+    }
+}
+
+// --- FlatTable -----------------------------------------------------------
+
+TEST(FlatTable, GrowBothDimensionsKeepsContentAndFill)
+{
+    FlatTable<uint32_t> t(2, 3, UINT32_MAX);
+    t.at(0, 1) = 7;
+    t.at(1, 2) = 8;
+    t.ensure_cols(9); // beyond capacity: re-layout
+    t.ensure_rows(5);
+    EXPECT_EQ(t.rows(), 5u);
+    EXPECT_EQ(t.cols(), 9u);
+    EXPECT_EQ(t.at(0, 1), 7u);
+    EXPECT_EQ(t.at(1, 2), 8u);
+    EXPECT_EQ(t.at(0, 5), UINT32_MAX);
+    EXPECT_EQ(t.at(4, 0), UINT32_MAX);
+    const uint32_t* row = t.row(1);
+    EXPECT_EQ(row[2], 8u);
 }
 
 } // namespace
