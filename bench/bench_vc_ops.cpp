@@ -30,6 +30,7 @@
 #include "analysis/runner.hpp"
 #include "gen/patterns.hpp"
 #include "support/stopwatch.hpp"
+#include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
 #include "vc/vector_clock.hpp"
 
@@ -383,6 +384,76 @@ BM_VcJoinExcept(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VcJoinExcept)->Arg(4)->Arg(64);
+
+/** Epoch-adaptive assign: the O(1) fast path (entry stays an epoch)
+ *  vs. the inflated O(dim) path, at the same dimension. The gap is the
+ *  per-access win the engines see on uncontended variables. */
+void
+BM_AdaptiveAssignEpoch(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    AdaptiveClockTable tbl;
+    tbl.set_epochs_enabled(true);
+    tbl.ensure_dim(dim);
+    uint32_t i = tbl.add_entry();
+    ClockBank clock(1, dim);
+    clock[0].set(0, 5);
+    for (auto _ : state) {
+        tbl.assign(i, clock[0], 0, /*c_pure=*/true);
+        benchmark::DoNotOptimize(tbl);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveAssignEpoch)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_AdaptiveAssignInflated(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    AdaptiveClockTable tbl;
+    tbl.set_epochs_enabled(false); // force the full-vector representation
+    tbl.ensure_dim(dim);
+    uint32_t i = tbl.add_entry();
+    ClockBank clock(1, dim);
+    VectorClock v = make_clock(dim, 3);
+    for (size_t d = 0; d < dim; ++d)
+        clock[0].set(d, v.get(d));
+    for (auto _ : state) {
+        tbl.assign(i, clock[0], 0, /*c_pure=*/false);
+        benchmark::DoNotOptimize(tbl);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveAssignInflated)->Arg(16)->Arg(64)->Arg(256);
+
+/** join_into (C_t |_|= W_x) with an epoch entry vs. an inflated one. */
+void
+BM_AdaptiveJoinInto(benchmark::State& state)
+{
+    size_t dim = static_cast<size_t>(state.range(0));
+    bool epoch = state.range(1) != 0;
+    AdaptiveClockTable tbl;
+    tbl.set_epochs_enabled(epoch);
+    tbl.ensure_dim(dim);
+    uint32_t i = tbl.add_entry();
+    ClockBank clock(2, dim);
+    clock[0].set(1, 7);
+    tbl.assign(i, clock[0], 1, epoch); // epoch 7@1 or inflated row
+    ClockRef dst = clock[1];
+    for (size_t d = 0; d < dim; ++d)
+        dst.set(d, 3);
+    uint8_t dst_pure = 0;
+    for (auto _ : state) {
+        tbl.join_into(dst, i, 0, dst_pure);
+        benchmark::DoNotOptimize(clock);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveJoinInto)
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Args({256, 1})
+    ->Args({256, 0});
 
 /** Per-event cost of the full engine as thread count grows (Theorem 4's
  *  |Thr| factor on non-end events). */

@@ -24,6 +24,7 @@
  * 3 = budget exceeded.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -123,46 +124,19 @@ make_engine(const std::string& name)
 void
 print_stats(const AtomicityChecker& checker)
 {
-    if (auto* a = dynamic_cast<const AeroDromeOpt*>(&checker)) {
-        std::printf("  joins: %s, comparisons: %s\n",
-                    with_commas(a->stats().joins).c_str(),
-                    with_commas(a->stats().comparisons).c_str());
-        std::printf("  lazy reads/writes: %s / %s\n",
-                    with_commas(a->opt_stats().lazy_reads).c_str(),
-                    with_commas(a->opt_stats().lazy_writes).c_str());
-        std::printf("  ends propagated/collected: %s / %s\n",
-                    with_commas(a->opt_stats().propagated_ends).c_str(),
-                    with_commas(a->opt_stats().gc_skipped_ends).c_str());
-    } else if (auto* t = dynamic_cast<const AeroDromeTuned*>(&checker)) {
-        std::printf("  joins: %s, comparisons: %s\n",
-                    with_commas(t->stats().joins).c_str(),
-                    with_commas(t->stats().comparisons).c_str());
-        std::printf("  same-epoch reads/writes skipped: %s / %s\n",
-                    with_commas(t->tuned_stats().same_epoch_reads).c_str(),
-                    with_commas(t->tuned_stats().same_epoch_writes)
-                        .c_str());
-    } else if (auto* b = dynamic_cast<const AeroDromeBasic*>(&checker)) {
-        std::printf("  joins: %s, comparisons: %s\n",
-                    with_commas(b->stats().joins).c_str(),
-                    with_commas(b->stats().comparisons).c_str());
-    } else if (auto* r = dynamic_cast<const AeroDromeReadOpt*>(&checker)) {
-        std::printf("  joins: %s, comparisons: %s\n",
-                    with_commas(r->stats().joins).c_str(),
-                    with_commas(r->stats().comparisons).c_str());
-    } else if (auto* v = dynamic_cast<const Velodrome*>(&checker)) {
-        std::printf("  graph: peak %s nodes, %s edges, %s dfs visits, "
-                    "%s collected\n",
-                    with_commas(v->stats().max_live_nodes).c_str(),
-                    with_commas(v->stats().total_edges).c_str(),
-                    with_commas(v->stats().dfs_visits).c_str(),
-                    with_commas(v->stats().gc_deleted).c_str());
-    } else if (auto* p = dynamic_cast<const VelodromePK*>(&checker)) {
-        std::printf("  graph: peak %s nodes, %s edges (%s fast / %s "
-                    "reordered)\n",
-                    with_commas(p->stats().max_live_nodes).c_str(),
-                    with_commas(p->stats().total_edges).c_str(),
-                    with_commas(p->fast_edges()).c_str(),
-                    with_commas(p->reordered_edges()).c_str());
+    // Every engine exposes its internals through the same counters()
+    // surface the runner records; print them uniformly.
+    StatList counters = checker.counters();
+    if (counters.empty()) {
+        std::printf("  (no statistics exposed by this engine)\n");
+        return;
+    }
+    size_t width = 0;
+    for (const auto& [name, value] : counters)
+        width = std::max(width, name.size());
+    for (const auto& [name, value] : counters) {
+        std::printf("  %-*s %s\n", static_cast<int>(width + 1),
+                    (name + ":").c_str(), with_commas(value).c_str());
     }
 }
 

@@ -6,19 +6,17 @@ AeroDromeBasic::AeroDromeBasic(uint32_t num_threads, uint32_t num_vars,
                                uint32_t num_locks)
     : txns_(num_threads)
 {
-    // Create every bank (r_ included) before grow_dim so the dimension is
-    // set bank-wide first, and rows are then allocated at the final
-    // stride in one layout pass.
-    r_.resize(num_vars);
     grow_dim(num_threads);
     c_.ensure_rows(num_threads);
     cb_.ensure_rows(num_threads);
-    l_.ensure_rows(num_locks);
-    w_.ensure_rows(num_vars);
+    c_pure_.assign(num_threads, 1);
+    cb_pure_.assign(num_threads, 1);
     for (uint32_t t = 0; t < num_threads; ++t)
         c_[t].set(t, 1); // C_t := bot[1/t]
-    last_rel_thr_.assign(num_locks, kNoThread);
-    last_w_thr_.assign(num_vars, kNoThread);
+    if (num_vars > 0)
+        ensure_var(num_vars - 1);
+    if (num_locks > 0)
+        ensure_lock(num_locks - 1);
 }
 
 void
@@ -37,10 +35,7 @@ AeroDromeBasic::grow_dim(size_t n)
 {
     c_.ensure_dim(n);
     cb_.ensure_dim(n);
-    l_.ensure_dim(n);
-    w_.ensure_dim(n);
-    for (auto& bank : r_)
-        bank.ensure_dim(n);
+    tbl_.ensure_dim(n);
 }
 
 void
@@ -52,6 +47,8 @@ AeroDromeBasic::ensure_thread(ThreadId t)
         grow_dim(n);
         c_.ensure_rows(n);
         cb_.ensure_rows(n);
+        c_pure_.resize(n, 1);
+        cb_pure_.resize(n, 1);
         for (size_t u = old; u < n; ++u)
             c_[u].set(u, 1);
         txns_.ensure(static_cast<uint32_t>(n));
@@ -61,34 +58,61 @@ AeroDromeBasic::ensure_thread(ThreadId t)
 void
 AeroDromeBasic::ensure_var(VarId x)
 {
-    if (x >= w_.rows()) {
-        size_t old = r_.size();
-        w_.ensure_rows(x + 1);
-        r_.resize(x + 1);
-        for (size_t i = old; i < r_.size(); ++i)
-            r_[i].ensure_dim(c_.dim());
-        last_w_thr_.resize(x + 1, kNoThread);
+    while (x >= w_slot_.size()) {
+        w_slot_.push_back(tbl_.add_entry());
+        r_slot_.emplace_back();
+        last_w_thr_.push_back(kNoThread);
     }
 }
 
 void
 AeroDromeBasic::ensure_lock(LockId l)
 {
-    if (l >= l_.rows()) {
-        l_.ensure_rows(l + 1);
-        last_rel_thr_.resize(l + 1, kNoThread);
+    while (l >= lock_slot_.size()) {
+        lock_slot_.push_back(tbl_.add_entry());
+        last_rel_thr_.push_back(kNoThread);
     }
 }
 
+uint32_t
+AeroDromeBasic::reader_slot(VarId x, ThreadId t)
+{
+    auto& slots = r_slot_[x];
+    if (t >= slots.size())
+        slots.resize(t + 1, kNoSlot);
+    if (slots[t] == kNoSlot)
+        slots[t] = tbl_.add_entry();
+    return slots[t];
+}
+
 bool
-AeroDromeBasic::check_and_get(ConstClockRef clk, ThreadId t, size_t index,
-                              const char* reason)
+AeroDromeBasic::check_and_get_entry(size_t slot, ThreadId t, size_t index,
+                                    const char* reason)
 {
     ++stats_.comparisons;
-    if (txns_.active(t) && cb_[t].leq(clk))
+    if (txns_.active(t) &&
+        tbl_.vector_leq_entry(cb_[t], slot, t, begin_pure_of(t)))
         return report(index, t, reason);
     ++stats_.joins;
-    c_[t].join(clk);
+    tbl_.join_into(c_[t], slot, t, c_pure_[t]);
+    return false;
+}
+
+bool
+AeroDromeBasic::check_and_get_clock(ConstClockRef clk, ThreadId src,
+                                    bool src_pure, ThreadId t, size_t index,
+                                    const char* reason)
+{
+    ++stats_.comparisons;
+    if (txns_.active(t)) {
+        // C_t^b sqsubseteq clk; O(1) when the begin clock is pure.
+        bool ordered = begin_pure_of(t) ? cb_[t].get(t) <= clk.get(t)
+                                        : cb_[t].leq(clk);
+        if (ordered)
+            return report(index, t, reason);
+    }
+    ++stats_.joins;
+    join_qualified(c_[t], t, c_pure_[t], clk, src, src_pure);
     return false;
 }
 
@@ -101,37 +125,34 @@ AeroDromeBasic::handle_end(ThreadId t, size_t index)
     // later events observe paths through this (now completed) transaction.
     ConstClockRef ct = c_[t];
     ConstClockRef cbt = cb_[t];
+    const bool ct_pure = pure_of(t);
+    const bool cbt_pure = begin_pure_of(t);
 
     for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u == t)
             continue;
         ++stats_.comparisons;
-        if (cbt.leq(c_[u])) {
-            if (check_and_get(ct, u, index, "active peer ordered into "
-                                            "completed transaction"))
+        bool ordered = cbt_pure ? cbt.get(t) <= c_[u].get(t)
+                                : cbt.leq(c_[u]);
+        if (ordered) {
+            if (check_and_get_clock(ct, t, ct_pure, u, index,
+                                    "active peer ordered into "
+                                    "completed transaction")) {
                 return true;
-        }
-    }
-    for (LockId l = 0; l < l_.rows(); ++l) {
-        ++stats_.comparisons;
-        if (cbt.leq(l_[l])) {
-            ++stats_.joins;
-            l_[l].join(ct);
-        }
-    }
-    for (VarId x = 0; x < w_.rows(); ++x) {
-        ++stats_.comparisons;
-        if (cbt.leq(w_[x])) {
-            ++stats_.joins;
-            w_[x].join(ct);
-        }
-        ClockBank& rx = r_[x];
-        for (size_t u = 0; u < rx.rows(); ++u) {
-            ++stats_.comparisons;
-            if (cbt.leq(rx[u])) {
-                ++stats_.joins;
-                rx[u].join(ct);
             }
+        }
+    }
+
+    // Fused propagation sweep: Algorithm 1 applies the same gate-and-join
+    // to every L_l, W_x and R_{u,x}, and they all live in one adaptive
+    // table, so the per-lock and per-variable loops collapse into one
+    // homogeneous pass over one combined region.
+    const size_t n = tbl_.size();
+    for (size_t i = 0; i < n; ++i) {
+        ++stats_.comparisons;
+        if (tbl_.vector_leq_entry(cbt, i, t, cbt_pure)) {
+            ++stats_.joins;
+            tbl_.join(i, ct, t, ct_pure);
         }
     }
     return false;
@@ -146,8 +167,9 @@ AeroDromeBasic::process(const Event& e, size_t index)
     switch (e.op) {
       case Op::kBegin:
         if (txns_.on_begin(t)) {
-            c_[t].tick(t);
+            c_[t].tick(t); // purity preserved: the own component grew
             cb_[t].assign(c_[t]);
+            cb_pure_[t] = c_pure_[t];
         }
         return false;
 
@@ -159,68 +181,82 @@ AeroDromeBasic::process(const Event& e, size_t index)
       case Op::kAcquire: {
         ensure_lock(e.target);
         if (last_rel_thr_[e.target] != t) {
-            return check_and_get(l_[e.target], t, index,
-                                 "acquire saw conflicting release");
+            return check_and_get_entry(lock_slot_[e.target], t, index,
+                                       "acquire saw conflicting release");
         }
         return false;
       }
 
       case Op::kRelease:
         ensure_lock(e.target);
-        l_[e.target].assign(c_[t]);
+        tbl_.assign(lock_slot_[e.target], c_[t], t, pure_of(t));
         last_rel_thr_[e.target] = t;
         return false;
 
       case Op::kFork: {
         ensure_thread(e.target);
         ++stats_.joins;
-        c_[e.target].join(c_[t]);
+        join_qualified(c_[e.target], e.target, c_pure_[e.target], c_[t], t,
+                       pure_of(t));
         return false;
       }
 
       case Op::kJoin: {
         ensure_thread(e.target);
-        return check_and_get(c_[e.target], t, index,
-                             "join saw child's events");
+        return check_and_get_clock(c_[e.target], e.target,
+                                   pure_of(e.target), t, index,
+                                   "join saw child's events");
       }
 
       case Op::kRead: {
         ensure_var(e.target);
         if (last_w_thr_[e.target] != t) {
-            if (check_and_get(w_[e.target], t, index,
-                              "read saw conflicting write")) {
+            if (check_and_get_entry(w_slot_[e.target], t, index,
+                                    "read saw conflicting write")) {
                 return true;
             }
         }
-        ClockBank& rx = r_[e.target];
-        rx.ensure_rows(c_.rows());
-        rx[t].assign(c_[t]);
+        uint32_t slot = reader_slot(e.target, t);
+        tbl_.assign(slot, c_[t], t, pure_of(t));
         return false;
       }
 
       case Op::kWrite: {
         ensure_var(e.target);
         if (last_w_thr_[e.target] != t) {
-            if (check_and_get(w_[e.target], t, index,
-                              "write saw conflicting write")) {
+            if (check_and_get_entry(w_slot_[e.target], t, index,
+                                    "write saw conflicting write")) {
                 return true;
             }
         }
-        ClockBank& rx = r_[e.target];
-        for (ThreadId u = 0; u < rx.rows(); ++u) {
-            if (u == t)
+        const auto& readers = r_slot_[e.target];
+        for (ThreadId u = 0; u < readers.size(); ++u) {
+            if (u == t || readers[u] == kNoSlot)
                 continue;
-            if (check_and_get(rx[u], t, index,
-                              "write saw conflicting read")) {
+            if (check_and_get_entry(readers[u], t, index,
+                                    "write saw conflicting read")) {
                 return true;
             }
         }
-        w_[e.target].assign(c_[t]);
+        tbl_.assign(w_slot_[e.target], c_[t], t, pure_of(t));
         last_w_thr_[e.target] = t;
         return false;
       }
     }
     return false;
+}
+
+StatList
+AeroDromeBasic::counters() const
+{
+    const AdaptiveClockStats& es = tbl_.stats();
+    return {
+        {"joins", stats_.joins},
+        {"comparisons", stats_.comparisons},
+        {"epoch_fast_ops", es.epoch_fast},
+        {"vector_ops", es.vector_ops},
+        {"inflations", es.inflations},
+    };
 }
 
 } // namespace aero

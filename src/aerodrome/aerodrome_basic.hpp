@@ -24,9 +24,14 @@
  * Algorithm 1. See aerodrome_readopt.hpp and aerodrome_opt.hpp for the
  * paper's optimized versions (Algorithms 2 and 3).
  *
- * Clock storage is bank-based (vc/clock_bank.hpp): every clock family
- * lives in one contiguous arena whose dimension is the number of threads
- * seen so far, kept in sync across all banks by ensure_thread.
+ * Storage is epoch-adaptive (vc/adaptive_clock.hpp): L_l, W_x and every
+ * R_{t,x} are entries of ONE AdaptiveClockTable — a compact (value@thread)
+ * epoch until first contention, a shared-arena bank row after. Because
+ * Algorithm 1 applies the *same* gate-and-join to every lock, write and
+ * read clock at an end event, the per-lock and per-variable propagation
+ * loops fuse into a single homogeneous pass over the table (bank-aware
+ * end-event batching). Per-thread clocks C_t / C_t^b stay in ClockBanks
+ * with purity bits enabling O(1) comparisons in the uncontended case.
  */
 
 #include <cstdint>
@@ -35,6 +40,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
+#include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
 #include "vc/vector_clock.hpp"
 
@@ -62,6 +68,20 @@ public:
 
     const AeroDromeStats& stats() const { return stats_; }
 
+    /** Epoch-adaptive storage statistics (hits, inflations). */
+    const AdaptiveClockStats& epoch_stats() const { return tbl_.stats(); }
+
+    /** Toggle the epoch representation and its purity fast paths; call
+     *  before the first event. Off reproduces the full-vector baseline. */
+    void
+    set_epochs(bool on)
+    {
+        epochs_ = on;
+        tbl_.set_epochs_enabled(on);
+    }
+
+    StatList counters() const override;
+
     /** Test hook: current clock of thread t (C_t). */
     VectorClock clock_of(ThreadId t) const
     {
@@ -77,18 +97,40 @@ public:
     /** Test hook: last-write clock of variable x (W_x). */
     VectorClock write_clock_of(VarId x) const
     {
-        return w_[x].to_vector_clock();
+        return tbl_.to_vector_clock(w_slot_[x]);
     }
 
 private:
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+    /** Purity of C_u / C_u^b as consumed by fast paths (gated by the
+     *  epochs toggle). */
+    bool
+    pure_of(ThreadId u) const
+    {
+        return epochs_ && c_pure_[u] != 0;
+    }
+    bool
+    begin_pure_of(ThreadId u) const
+    {
+        return epochs_ && cb_pure_[u] != 0;
+    }
+
     /**
-     * The paper's checkAndGet(clk, t): declare a violation if t has an
-     * active transaction whose begin clock is ordered before `clk`;
-     * otherwise C_t := C_t |_| clk.
+     * The paper's checkAndGet(clk, t) against table entry `slot`: declare
+     * a violation if t has an active transaction whose begin clock is
+     * ordered before the entry; otherwise C_t := C_t |_| entry.
      * @return true iff a violation was declared.
      */
-    bool check_and_get(ConstClockRef clk, ThreadId t, size_t index,
-                       const char* reason);
+    bool check_and_get_entry(size_t slot, ThreadId t, size_t index,
+                             const char* reason);
+
+    /** checkAndGet against the clock of thread `src` (pure iff src_pure). */
+    bool check_and_get_clock(ConstClockRef clk, ThreadId src, bool src_pure,
+                             ThreadId t, size_t index, const char* reason);
+
+    /** Entry for R_{t,x}, materialized on t's first read of x. */
+    uint32_t reader_slot(VarId x, ThreadId t);
 
     void ensure_thread(ThreadId t);
     void ensure_var(VarId x);
@@ -101,13 +143,23 @@ private:
 
     TxnTracker txns_;
 
-    ClockBank c_;   // C_t, one row per thread
-    ClockBank cb_;  // C_t^begin, one row per thread
-    ClockBank l_;   // L_lock, one row per lock
-    ClockBank w_;   // W_var, one row per var
-    /** r_[x] holds R_{t,x} rows for variable x; rows materialize on the
-     *  first read of x (mirroring Algorithm 1's lazily-extended table). */
-    std::vector<ClockBank> r_;
+    ClockBank c_;  // C_t, one row per thread
+    ClockBank cb_; // C_t^begin, one row per thread
+
+    /** L_l, W_x and R_{t,x} in one adaptive table; Algorithm 1 treats
+     *  them uniformly at end events, so the table needs no entry kinds. */
+    AdaptiveClockTable tbl_;
+    std::vector<uint32_t> lock_slot_; // LockId -> entry
+    std::vector<uint32_t> w_slot_;    // VarId -> entry
+    /** r_slot_[x][t] -> entry of R_{t,x}, kNoSlot until t reads x
+     *  (mirroring Algorithm 1's lazily-extended table). */
+    std::vector<std::vector<uint32_t>> r_slot_;
+
+    /** Purity bits: c_pure_[t] iff C_t == bot[v/t]; cb_pure_[t] the same
+     *  for C_t^b. Sound but conservative. */
+    std::vector<uint8_t> c_pure_;
+    std::vector<uint8_t> cb_pure_;
+    bool epochs_ = epochs_enabled_default();
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;

@@ -11,20 +11,17 @@ AeroDromeOpt::AeroDromeOpt(uint32_t num_threads, uint32_t num_vars,
     grow_dim(num_threads);
     c_.ensure_rows(num_threads);
     cb_.ensure_rows(num_threads);
-    l_.ensure_rows(num_locks);
-    w_.ensure_rows(num_vars);
-    rx_.ensure_rows(num_vars);
-    hrx_.ensure_rows(num_vars);
+    c_pure_.assign(num_threads, 1);
     for (uint32_t t = 0; t < num_threads; ++t)
         c_[t].set(t, 1);
-    last_rel_thr_.assign(num_locks, kNoThread);
-    last_w_thr_.assign(num_vars, kNoThread);
-    stale_write_.assign(num_vars, 0);
-    stale_readers_.resize(num_vars);
     upd_r_.resize(num_threads);
     upd_w_.resize(num_threads);
     parent_thread_.assign(num_threads, kNoThread);
     parent_txn_seq_.assign(num_threads, 0);
+    if (num_vars > 0)
+        ensure_var(num_vars - 1);
+    if (num_locks > 0)
+        ensure_lock(num_locks - 1);
 }
 
 void
@@ -43,10 +40,7 @@ AeroDromeOpt::grow_dim(size_t n)
 {
     c_.ensure_dim(n);
     cb_.ensure_dim(n);
-    l_.ensure_dim(n);
-    w_.ensure_dim(n);
-    rx_.ensure_dim(n);
-    hrx_.ensure_dim(n);
+    tbl_.ensure_dim(n);
 }
 
 void
@@ -58,6 +52,7 @@ AeroDromeOpt::ensure_thread(ThreadId t)
         grow_dim(n);
         c_.ensure_rows(n);
         cb_.ensure_rows(n);
+        c_pure_.resize(n, 1);
         upd_r_.resize(n);
         upd_w_.resize(n);
         parent_thread_.resize(n, kNoThread);
@@ -71,34 +66,61 @@ AeroDromeOpt::ensure_thread(ThreadId t)
 void
 AeroDromeOpt::ensure_var(VarId x)
 {
-    if (x >= w_.rows()) {
-        w_.ensure_rows(x + 1);
-        rx_.ensure_rows(x + 1);
-        hrx_.ensure_rows(x + 1);
-        last_w_thr_.resize(x + 1, kNoThread);
-        stale_write_.resize(x + 1, 0);
-        stale_readers_.resize(x + 1);
+    while (x >= var_base_.size()) {
+        uint32_t base = tbl_.add_entry(); // W_x
+        tbl_.add_entry();                 // R_x
+        tbl_.add_entry();                 // hR_x
+        var_base_.push_back(base);
+        last_w_thr_.push_back(kNoThread);
+        stale_write_.push_back(0);
+        stale_readers_.emplace_back();
     }
 }
 
 void
 AeroDromeOpt::ensure_lock(LockId l)
 {
-    if (l >= l_.rows()) {
-        l_.ensure_rows(l + 1);
-        last_rel_thr_.resize(l + 1, kNoThread);
+    while (l >= lock_slot_.size()) {
+        lock_slot_.push_back(tbl_.add_entry());
+        last_rel_thr_.push_back(kNoThread);
     }
 }
 
 bool
-AeroDromeOpt::check_and_get(ConstClockRef check_clk, ConstClockRef join_clk,
-                            ThreadId t, size_t index, const char* reason)
+AeroDromeOpt::check_and_get_entry(size_t slot, ThreadId t, size_t index,
+                                  const char* reason)
 {
     ++stats_.comparisons;
-    if (txns_.active(t) && begin_before(t, check_clk))
+    if (txns_.active(t) && begin_before(t, tbl_.get(slot, t)))
         return report(index, t, reason);
     ++stats_.joins;
-    c_[t].join(join_clk);
+    tbl_.join_into(c_[t], slot, t, c_pure_[t]);
+    return false;
+}
+
+bool
+AeroDromeOpt::check_and_get_entry2(size_t check_slot, size_t join_slot,
+                                   ThreadId t, size_t index,
+                                   const char* reason)
+{
+    ++stats_.comparisons;
+    if (txns_.active(t) && begin_before(t, tbl_.get(check_slot, t)))
+        return report(index, t, reason);
+    ++stats_.joins;
+    tbl_.join_into(c_[t], join_slot, t, c_pure_[t]);
+    return false;
+}
+
+bool
+AeroDromeOpt::check_and_get_clock(ConstClockRef clk, ThreadId src,
+                                  bool src_pure, ThreadId t, size_t index,
+                                  const char* reason)
+{
+    ++stats_.comparisons;
+    if (txns_.active(t) && begin_before(t, clk.get(t)))
+        return report(index, t, reason);
+    ++stats_.joins;
+    join_qualified(c_[t], t, c_pure_[t], clk, src, src_pure);
     return false;
 }
 
@@ -144,10 +166,12 @@ AeroDromeOpt::has_incoming_edge(ThreadId t) const
 void
 AeroDromeOpt::flush_stale_readers(VarId x)
 {
+    const size_t base = var_base_[x];
     for (ThreadId u : stale_readers_[x]) {
         stats_.joins += 2;
-        rx_[x].join(c_[u]);
-        hrx_[x].join_except(c_[u], u);
+        const bool pure = pure_of(u);
+        tbl_.join(base + 1, c_[u], u, pure);        // R_x
+        tbl_.join_except(base + 2, c_[u], u, pure); // hR_x
     }
     stale_readers_[x].clear();
 }
@@ -195,25 +219,26 @@ AeroDromeOpt::handle_end(ThreadId t, size_t index)
 
     ++opt_stats_.propagated_ends;
     ConstClockRef ct = c_[t];
-    ConstClockRef cbt = cb_[t];
+    const ClockValue cbt_t = cb_[t].get(t);
+    const bool ct_pure = pure_of(t);
 
     for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u == t)
             continue;
         ++stats_.comparisons;
-        if (cbt.get(t) <= c_[u].get(t)) {
-            if (check_and_get(ct, ct, u, index,
-                              "active peer ordered into completed "
-                              "transaction")) {
+        if (cbt_t <= c_[u].get(t)) {
+            if (check_and_get_clock(ct, t, ct_pure, u, index,
+                                    "active peer ordered into completed "
+                                    "transaction")) {
                 return true;
             }
         }
     }
-    for (LockId l = 0; l < l_.rows(); ++l) {
+    for (size_t l = 0; l < lock_slot_.size(); ++l) {
         ++stats_.comparisons;
-        if (cbt.get(t) <= l_[l].get(t)) {
+        if (cbt_t <= tbl_.get(lock_slot_[l], t)) {
             ++stats_.joins;
-            l_[l].join(ct);
+            tbl_.join(lock_slot_[l], ct, t, ct_pure);
         }
     }
     for (VarId x : upd_w_[t].list) {
@@ -222,7 +247,7 @@ AeroDromeOpt::handle_end(ThreadId t, size_t index)
         // (which already absorbed C_t via the thread loop above).
         if (!stale_write_[x] || last_w_thr_[x] == t) {
             ++stats_.joins;
-            w_[x].join(ct);
+            tbl_.join(var_base_[x], ct, t, ct_pure);
         }
         if (last_w_thr_[x] == t)
             stale_write_[x] = 0;
@@ -230,8 +255,9 @@ AeroDromeOpt::handle_end(ThreadId t, size_t index)
     upd_w_[t].clear();
     for (VarId x : upd_r_[t].list) {
         stats_.joins += 2;
-        rx_[x].join(ct);
-        hrx_[x].join_except(ct, t);
+        const size_t base = var_base_[x];
+        tbl_.join(base + 1, ct, t, ct_pure);
+        tbl_.join_except(base + 2, ct, t, ct_pure);
         auto& sr = stale_readers_[x];
         sr.erase(std::remove(sr.begin(), sr.end(), t), sr.end());
     }
@@ -248,7 +274,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
     switch (e.op) {
       case Op::kBegin:
         if (txns_.on_begin(t)) {
-            c_[t].tick(t);
+            c_[t].tick(t); // purity preserved
             cb_[t].assign(c_[t]);
         }
         return false;
@@ -261,40 +287,49 @@ AeroDromeOpt::process(const Event& e, size_t index)
       case Op::kAcquire:
         ensure_lock(e.target);
         if (last_rel_thr_[e.target] != t) {
-            return check_and_get(l_[e.target], l_[e.target], t, index,
-                                 "acquire saw conflicting release");
+            return check_and_get_entry(lock_slot_[e.target], t, index,
+                                       "acquire saw conflicting release");
         }
         return false;
 
       case Op::kRelease:
         ensure_lock(e.target);
-        l_[e.target].assign(c_[t]);
+        tbl_.assign(lock_slot_[e.target], c_[t], t, pure_of(t));
         last_rel_thr_[e.target] = t;
         return false;
 
       case Op::kFork:
         ensure_thread(e.target);
         ++stats_.joins;
-        c_[e.target].join(c_[t]);
+        join_qualified(c_[e.target], e.target, c_pure_[e.target], c_[t], t,
+                       pure_of(t));
         parent_thread_[e.target] = t;
         parent_txn_seq_[e.target] = txns_.active(t) ? txns_.seq(t) : 0;
         return false;
 
       case Op::kJoin:
         ensure_thread(e.target);
-        return check_and_get(c_[e.target], c_[e.target], t, index,
-                             "join saw child's events");
+        return check_and_get_clock(c_[e.target], e.target,
+                                   pure_of(e.target), t, index,
+                                   "join saw child's events");
 
       case Op::kRead: {
         const VarId x = e.target;
         ensure_var(x);
+        const size_t base = var_base_[x];
         if (last_w_thr_[x] != t) {
-            ConstClockRef wclk =
-                stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
-            if (check_and_get(wclk, wclk, t, index,
-                              "read saw conflicting write")) {
-                return true;
+            bool v;
+            if (stale_write_[x]) {
+                ThreadId lw = last_w_thr_[x];
+                v = check_and_get_clock(c_[lw], lw, pure_of(lw), t,
+                                        index,
+                                        "read saw conflicting write");
+            } else {
+                v = check_and_get_entry(base, t, index,
+                                        "read saw conflicting write");
             }
+            if (v)
+                return true;
         }
         if (txns_.active(t)) {
             // Lazy: defer the R_x/hR_x update to the next write of x or to
@@ -308,8 +343,9 @@ AeroDromeOpt::process(const Event& e, size_t index)
             // the live-clock proxy is never applied to a finished
             // transaction.
             stats_.joins += 2;
-            rx_[x].join(c_[t]);
-            hrx_[x].join_except(c_[t], t);
+            const bool pure = pure_of(t);
+            tbl_.join(base + 1, c_[t], t, pure);
+            tbl_.join_except(base + 2, c_[t], t, pure);
         }
         enroll_update_sets(t, x, /*is_write=*/false);
         return false;
@@ -318,17 +354,24 @@ AeroDromeOpt::process(const Event& e, size_t index)
       case Op::kWrite: {
         const VarId x = e.target;
         ensure_var(x);
+        const size_t base = var_base_[x];
         if (last_w_thr_[x] != t) {
-            ConstClockRef wclk =
-                stale_write_[x] ? c_[last_w_thr_[x]] : w_[x];
-            if (check_and_get(wclk, wclk, t, index,
-                              "write saw conflicting write")) {
-                return true;
+            bool v;
+            if (stale_write_[x]) {
+                ThreadId lw = last_w_thr_[x];
+                v = check_and_get_clock(c_[lw], lw, pure_of(lw), t,
+                                        index,
+                                        "write saw conflicting write");
+            } else {
+                v = check_and_get_entry(base, t, index,
+                                        "write saw conflicting write");
             }
+            if (v)
+                return true;
         }
         flush_stale_readers(x);
-        if (check_and_get(hrx_[x], rx_[x], t, index,
-                          "write saw conflicting read")) {
+        if (check_and_get_entry2(base + 2, base + 1, t, index,
+                                 "write saw conflicting read")) {
             return true;
         }
         if (txns_.active(t)) {
@@ -336,7 +379,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
             ++opt_stats_.lazy_writes;
         } else {
             stale_write_[x] = 0;
-            w_[x].assign(c_[t]);
+            tbl_.assign(base, c_[t], t, pure_of(t));
         }
         last_w_thr_[x] = t;
         enroll_update_sets(t, x, /*is_write=*/true);
@@ -344,6 +387,23 @@ AeroDromeOpt::process(const Event& e, size_t index)
       }
     }
     return false;
+}
+
+StatList
+AeroDromeOpt::counters() const
+{
+    const AdaptiveClockStats& es = tbl_.stats();
+    return {
+        {"joins", stats_.joins},
+        {"comparisons", stats_.comparisons},
+        {"lazy_reads", opt_stats_.lazy_reads},
+        {"lazy_writes", opt_stats_.lazy_writes},
+        {"propagated_ends", opt_stats_.propagated_ends},
+        {"gc_skipped_ends", opt_stats_.gc_skipped_ends},
+        {"epoch_fast_ops", es.epoch_fast},
+        {"vector_ops", es.vector_ops},
+        {"inflations", es.inflations},
+    };
 }
 
 } // namespace aero

@@ -32,6 +32,12 @@
  *
  * All ordering tests use the one-component ("lightweight timestamp") form;
  * see aerodrome_readopt.hpp for why this is equivalent.
+ *
+ * Storage is epoch-adaptive (vc/adaptive_clock.hpp): L_l, W_x, R_x and
+ * hR_x share one AdaptiveClockTable (a variable's W/R/hR are adjacent
+ * entries), giving O(1) conflict checks and updates while the touched
+ * state stays epoch-shaped, inflating into the shared arena on first
+ * contention. Purity bits on C_t drive the fast paths.
  */
 
 #include <cstdint>
@@ -41,6 +47,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
+#include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
 
 namespace aero {
@@ -72,14 +79,46 @@ public:
     const AeroDromeStats& stats() const { return stats_; }
     const AeroDromeOptStats& opt_stats() const { return opt_stats_; }
 
+    /** Epoch-adaptive storage statistics (hits, inflations). */
+    const AdaptiveClockStats& epoch_stats() const { return tbl_.stats(); }
+
+    /** Toggle the epoch representation and its purity fast paths; call
+     *  before the first event. Off reproduces the full-vector baseline. */
+    void
+    set_epochs(bool on)
+    {
+        epochs_ = on;
+        tbl_.set_epochs_enabled(on);
+    }
+
+    StatList counters() const override;
+
 private:
-    bool check_and_get(ConstClockRef check_clk, ConstClockRef join_clk,
-                       ThreadId t, size_t index, const char* reason);
+    /** Purity of C_u as consumed by fast paths (gated by the toggle). */
+    bool
+    pure_of(ThreadId u) const
+    {
+        return epochs_ && c_pure_[u] != 0;
+    }
+
+    /** checkAndGet where both the check and the join use table entry
+     *  `slot` (locks, W_x). */
+    bool check_and_get_entry(size_t slot, ThreadId t, size_t index,
+                             const char* reason);
+
+    /** checkAndGet checking `check_slot` but joining `join_slot` (the
+     *  hR_x / R_x pair at writes). */
+    bool check_and_get_entry2(size_t check_slot, size_t join_slot,
+                              ThreadId t, size_t index, const char* reason);
+
+    /** checkAndGet against the clock of thread `src` (pure iff src_pure). */
+    bool check_and_get_clock(ConstClockRef clk, ThreadId src, bool src_pure,
+                             ThreadId t, size_t index, const char* reason);
 
     bool
-    begin_before(ThreadId t, ConstClockRef clk) const
+    begin_before(ThreadId t, ClockValue comp) const
     {
-        return cb_[t].get(t) <= clk.get(t);
+        return cb_[t].get(t) <= comp;
     }
 
     /** Algorithm 3's hasIncomingEdge(t), evaluated at t's end event. */
@@ -101,12 +140,18 @@ private:
 
     TxnTracker txns_;
 
-    ClockBank c_;   // one row per thread
-    ClockBank cb_;  // one row per thread
-    ClockBank l_;   // one row per lock
-    ClockBank w_;   // one row per var
-    ClockBank rx_;  // R_x, one row per var
-    ClockBank hrx_; // hR_x, one row per var
+    ClockBank c_;  // one row per thread
+    ClockBank cb_; // one row per thread
+
+    /** L_l, W_x, R_x, hR_x — one adaptive table; var x occupies entries
+     *  var_base_[x] + {0: W, 1: R, 2: hR}. */
+    AdaptiveClockTable tbl_;
+    std::vector<uint32_t> lock_slot_; // LockId -> entry
+    std::vector<uint32_t> var_base_;  // VarId -> W entry
+
+    /** c_pure_[t] != 0 iff C_t == bot[v/t]; sound but conservative. */
+    std::vector<uint8_t> c_pure_;
+    bool epochs_ = epochs_enabled_default();
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;

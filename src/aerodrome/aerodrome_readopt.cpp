@@ -9,14 +9,13 @@ AeroDromeReadOpt::AeroDromeReadOpt(uint32_t num_threads, uint32_t num_vars,
     grow_dim(num_threads);
     c_.ensure_rows(num_threads);
     cb_.ensure_rows(num_threads);
-    l_.ensure_rows(num_locks);
-    w_.ensure_rows(num_vars);
-    rx_.ensure_rows(num_vars);
-    hrx_.ensure_rows(num_vars);
+    c_pure_.assign(num_threads, 1);
     for (uint32_t t = 0; t < num_threads; ++t)
         c_[t].set(t, 1);
-    last_rel_thr_.assign(num_locks, kNoThread);
-    last_w_thr_.assign(num_vars, kNoThread);
+    if (num_vars > 0)
+        ensure_var(num_vars - 1);
+    if (num_locks > 0)
+        ensure_lock(num_locks - 1);
 }
 
 void
@@ -35,10 +34,7 @@ AeroDromeReadOpt::grow_dim(size_t n)
 {
     c_.ensure_dim(n);
     cb_.ensure_dim(n);
-    l_.ensure_dim(n);
-    w_.ensure_dim(n);
-    rx_.ensure_dim(n);
-    hrx_.ensure_dim(n);
+    tbl_.ensure_dim(n);
 }
 
 void
@@ -50,6 +46,7 @@ AeroDromeReadOpt::ensure_thread(ThreadId t)
         grow_dim(n);
         c_.ensure_rows(n);
         cb_.ensure_rows(n);
+        c_pure_.resize(n, 1);
         for (size_t u = old; u < n; ++u)
             c_[u].set(u, 1);
         txns_.ensure(static_cast<uint32_t>(n));
@@ -59,33 +56,46 @@ AeroDromeReadOpt::ensure_thread(ThreadId t)
 void
 AeroDromeReadOpt::ensure_var(VarId x)
 {
-    if (x >= w_.rows()) {
-        w_.ensure_rows(x + 1);
-        rx_.ensure_rows(x + 1);
-        hrx_.ensure_rows(x + 1);
-        last_w_thr_.resize(x + 1, kNoThread);
+    while (x >= var_base_.size()) {
+        uint32_t base = add_entry(kWEntry);
+        add_entry(kREntry);
+        add_entry(kHREntry);
+        var_base_.push_back(base);
+        last_w_thr_.push_back(kNoThread);
     }
 }
 
 void
 AeroDromeReadOpt::ensure_lock(LockId l)
 {
-    if (l >= l_.rows()) {
-        l_.ensure_rows(l + 1);
-        last_rel_thr_.resize(l + 1, kNoThread);
+    while (l >= lock_slot_.size()) {
+        lock_slot_.push_back(add_entry(kLockEntry));
+        last_rel_thr_.push_back(kNoThread);
     }
 }
 
 bool
-AeroDromeReadOpt::check_and_get(ConstClockRef check_clk,
-                                ConstClockRef join_clk, ThreadId t,
-                                size_t index, const char* reason)
+AeroDromeReadOpt::check_and_get_entry(size_t slot, ThreadId t, size_t index,
+                                      const char* reason)
 {
     ++stats_.comparisons;
-    if (txns_.active(t) && begin_before(t, check_clk))
+    if (txns_.active(t) && cb_[t].get(t) <= tbl_.get(slot, t))
         return report(index, t, reason);
     ++stats_.joins;
-    c_[t].join(join_clk);
+    tbl_.join_into(c_[t], slot, t, c_pure_[t]);
+    return false;
+}
+
+bool
+AeroDromeReadOpt::check_and_get_clock(ConstClockRef clk, ThreadId src,
+                                      bool src_pure, ThreadId t,
+                                      size_t index, const char* reason)
+{
+    ++stats_.comparisons;
+    if (txns_.active(t) && cb_[t].get(t) <= clk.get(t))
+        return report(index, t, reason);
+    ++stats_.joins;
+    join_qualified(c_[t], t, c_pure_[t], clk, src, src_pure);
     return false;
 }
 
@@ -93,39 +103,49 @@ bool
 AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
 {
     ConstClockRef ct = c_[t];
-    ConstClockRef cbt = cb_[t];
-    const ClockValue cbt_t = cbt.get(t);
+    const ClockValue cbt_t = cb_[t].get(t);
+    const bool ct_pure = pure_of(t);
 
     for (ThreadId u = 0; u < c_.rows(); ++u) {
         if (u == t)
             continue;
         ++stats_.comparisons;
         if (cbt_t <= c_[u].get(t)) {
-            if (check_and_get(ct, ct, u, index,
-                              "active peer ordered into completed "
-                              "transaction")) {
+            if (check_and_get_clock(ct, t, ct_pure, u, index,
+                                    "active peer ordered into completed "
+                                    "transaction")) {
                 return true;
             }
         }
     }
-    for (LockId l = 0; l < l_.rows(); ++l) {
-        ++stats_.comparisons;
-        if (cbt_t <= l_[l].get(t)) {
-            ++stats_.joins;
-            l_[l].join(ct);
-        }
-    }
-    for (VarId x = 0; x < w_.rows(); ++x) {
-        ++stats_.comparisons;
-        if (cbt_t <= w_[x].get(t)) {
-            ++stats_.joins;
-            w_[x].join(ct);
-        }
-        ++stats_.comparisons;
-        if (cbt_t <= rx_[x].get(t)) {
-            stats_.joins += 2;
-            rx_[x].join(ct);
-            hrx_[x].join_except(ct, t);
+
+    // Fused propagation sweep: locks, W_x, R_x and hR_x all live in one
+    // adaptive table, so the per-lock and per-variable loops of the
+    // original algorithm collapse into a single pass over one combined
+    // region — epoch entries are one-word gates, inflated entries stream
+    // through the shared arena. hR_x is driven by its R_x partner (the
+    // algorithm gates both updates on R_x, which subsumes hR_x).
+    const size_t n = tbl_.size();
+    for (size_t i = 0; i < n; ++i) {
+        switch (static_cast<EntryKind>(kinds_[i])) {
+          case kLockEntry:
+          case kWEntry:
+            ++stats_.comparisons;
+            if (cbt_t <= tbl_.get(i, t)) {
+                ++stats_.joins;
+                tbl_.join(i, ct, t, ct_pure);
+            }
+            break;
+          case kREntry:
+            ++stats_.comparisons;
+            if (cbt_t <= tbl_.get(i, t)) {
+                stats_.joins += 2;
+                tbl_.join(i, ct, t, ct_pure);
+                tbl_.join_except(i + 1, ct, t, ct_pure);
+            }
+            break;
+          case kHREntry:
+            break; // handled with its R_x partner at i - 1
         }
     }
     return false;
@@ -140,7 +160,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
     switch (e.op) {
       case Op::kBegin:
         if (txns_.on_begin(t)) {
-            c_[t].tick(t);
+            c_[t].tick(t); // purity preserved: the own component grew
             cb_[t].assign(c_[t]);
         }
         return false;
@@ -153,60 +173,81 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
       case Op::kAcquire:
         ensure_lock(e.target);
         if (last_rel_thr_[e.target] != t) {
-            return check_and_get(l_[e.target], l_[e.target], t, index,
-                                 "acquire saw conflicting release");
+            return check_and_get_entry(lock_slot_[e.target], t, index,
+                                       "acquire saw conflicting release");
         }
         return false;
 
       case Op::kRelease:
         ensure_lock(e.target);
-        l_[e.target].assign(c_[t]);
+        tbl_.assign(lock_slot_[e.target], c_[t], t, pure_of(t));
         last_rel_thr_[e.target] = t;
         return false;
 
       case Op::kFork:
         ensure_thread(e.target);
         ++stats_.joins;
-        c_[e.target].join(c_[t]);
+        join_qualified(c_[e.target], e.target, c_pure_[e.target], c_[t], t,
+                       pure_of(t));
         return false;
 
       case Op::kJoin:
         ensure_thread(e.target);
-        return check_and_get(c_[e.target], c_[e.target], t, index,
-                             "join saw child's events");
+        return check_and_get_clock(c_[e.target], e.target,
+                                   pure_of(e.target), t, index,
+                                   "join saw child's events");
 
       case Op::kRead: {
-        ensure_var(e.target);
-        if (last_w_thr_[e.target] != t) {
-            if (check_and_get(w_[e.target], w_[e.target], t, index,
-                              "read saw conflicting write")) {
+        const VarId x = e.target;
+        ensure_var(x);
+        const size_t base = var_base_[x];
+        if (last_w_thr_[x] != t) {
+            if (check_and_get_entry(base, t, index,
+                                    "read saw conflicting write")) {
                 return true;
             }
         }
         stats_.joins += 2;
-        rx_[e.target].join(c_[t]);
-        hrx_[e.target].join_except(c_[t], t);
+        const bool pure = pure_of(t);
+        tbl_.join(base + 1, c_[t], t, pure);        // R_x
+        tbl_.join_except(base + 2, c_[t], t, pure); // hR_x
         return false;
       }
 
       case Op::kWrite: {
-        ensure_var(e.target);
-        if (last_w_thr_[e.target] != t) {
-            if (check_and_get(w_[e.target], w_[e.target], t, index,
-                              "write saw conflicting write")) {
+        const VarId x = e.target;
+        ensure_var(x);
+        const size_t base = var_base_[x];
+        if (last_w_thr_[x] != t) {
+            if (check_and_get_entry(base, t, index,
+                                    "write saw conflicting write")) {
                 return true;
             }
         }
-        if (check_and_get(hrx_[e.target], rx_[e.target], t, index,
-                          "write saw conflicting read")) {
-            return true;
-        }
-        w_[e.target].assign(c_[t]);
-        last_w_thr_[e.target] = t;
+        ++stats_.comparisons;
+        if (txns_.active(t) && cb_[t].get(t) <= tbl_.get(base + 2, t))
+            return report(index, t, "write saw conflicting read");
+        ++stats_.joins;
+        tbl_.join_into(c_[t], base + 1, t, c_pure_[t]);
+        tbl_.assign(base, c_[t], t, pure_of(t));
+        last_w_thr_[x] = t;
         return false;
       }
     }
     return false;
+}
+
+StatList
+AeroDromeReadOpt::counters() const
+{
+    const AdaptiveClockStats& es = tbl_.stats();
+    return {
+        {"joins", stats_.joins},
+        {"comparisons", stats_.comparisons},
+        {"epoch_fast_ops", es.epoch_fast},
+        {"vector_ops", es.vector_ops},
+        {"inflations", es.inflations},
+    };
 }
 
 } // namespace aero

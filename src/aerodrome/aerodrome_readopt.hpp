@@ -21,8 +21,14 @@
  * "exists u with C_t^b sqsubseteq R_{u,x}". For that reason every ordering
  * test in this variant uses the one-component form.
  *
- * All clock families live in contiguous ClockBank arenas (one row per
- * thread/lock/var) whose shared dimension is the thread count.
+ * Storage is epoch-adaptive (vc/adaptive_clock.hpp): L_l, W_x, R_x and
+ * hR_x live in ONE AdaptiveClockTable whose entries are compact epochs
+ * until first contention and rows of a shared inflation arena after. A
+ * variable occupies three adjacent entries (W, R, hR) and the end-event
+ * propagation is a single fused pass over the whole table — locks and
+ * variables in one sweep (the bank-aware end-event batching of the
+ * ROADMAP). Per-thread clocks C_t / C_t^b stay in ClockBanks; a purity
+ * bit per thread ("C_t == bot[v/t]") drives the O(1) fast paths.
  */
 
 #include <cstdint>
@@ -32,6 +38,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
+#include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
 
 namespace aero {
@@ -50,21 +57,50 @@ public:
 
     const AeroDromeStats& stats() const { return stats_; }
 
-private:
-    /**
-     * checkAndGet(check_clk, join_clk, t): violation if t's active begin is
-     * ordered before check_clk (one-component test); else join join_clk
-     * into C_t.
-     */
-    bool check_and_get(ConstClockRef check_clk, ConstClockRef join_clk,
-                       ThreadId t, size_t index, const char* reason);
+    /** Epoch-adaptive storage statistics (hits, inflations). */
+    const AdaptiveClockStats& epoch_stats() const { return tbl_.stats(); }
 
-    /** One-component ordering test: C_t^b sqsubseteq clk. */
-    bool
-    begin_before(ThreadId t, ConstClockRef clk) const
+    /** Toggle the epoch representation and its purity fast paths; call
+     *  before the first event. Off reproduces the full-vector baseline. */
+    void
+    set_epochs(bool on)
     {
-        return cb_[t].get(t) <= clk.get(t);
+        epochs_ = on;
+        tbl_.set_epochs_enabled(on);
     }
+
+    StatList counters() const override;
+
+private:
+    /** What a table entry stores; drives the fused end-event sweep. */
+    enum EntryKind : uint8_t { kLockEntry, kWEntry, kREntry, kHREntry };
+
+    /** Purity of C_u as consumed by fast paths (gated by the toggle). */
+    bool
+    pure_of(ThreadId u) const
+    {
+        return epochs_ && c_pure_[u] != 0;
+    }
+
+    uint32_t
+    add_entry(EntryKind kind)
+    {
+        kinds_.push_back(kind);
+        return tbl_.add_entry();
+    }
+
+    /**
+     * checkAndGet against table entry `slot`: violation if t's active
+     * begin is ordered before it (one-component test); else join it into
+     * C_t.
+     */
+    bool check_and_get_entry(size_t slot, ThreadId t, size_t index,
+                             const char* reason);
+
+    /** checkAndGet against the clock of thread `src` (C_src or a bank
+     *  row owned by src), pure iff src_pure. */
+    bool check_and_get_clock(ConstClockRef clk, ThreadId src, bool src_pure,
+                             ThreadId t, size_t index, const char* reason);
 
     void ensure_thread(ThreadId t);
     void ensure_var(VarId x);
@@ -75,12 +111,20 @@ private:
 
     TxnTracker txns_;
 
-    ClockBank c_;   // one row per thread
-    ClockBank cb_;  // one row per thread
-    ClockBank l_;   // one row per lock
-    ClockBank w_;   // one row per var
-    ClockBank rx_;  // R_x, one row per var
-    ClockBank hrx_; // hR_x, one row per var
+    ClockBank c_;  // C_t, one row per thread
+    ClockBank cb_; // C_t^begin, one row per thread
+
+    /** L_l, W_x, R_x, hR_x — one adaptive table; var x occupies the
+     *  adjacent entries var_base_[x] + {0: W, 1: R, 2: hR}. */
+    AdaptiveClockTable tbl_;
+    std::vector<uint8_t> kinds_;     // EntryKind per table entry
+    std::vector<uint32_t> lock_slot_; // LockId -> entry
+    std::vector<uint32_t> var_base_;  // VarId -> W entry (R/hR adjacent)
+
+    /** c_pure_[t] != 0 iff C_t == bot[C_t(t)/t] (never received a foreign
+     *  ordering); sound but conservative. */
+    std::vector<uint8_t> c_pure_;
+    bool epochs_ = epochs_enabled_default();
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;

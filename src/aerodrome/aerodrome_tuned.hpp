@@ -25,6 +25,12 @@
  *    variable — the dominant pattern the paper's lazy updates target —
  *    reduce to two array compares per event.
  *
+ * The same-epoch *skips* above elide whole events; the epoch-adaptive
+ * *storage* (vc/adaptive_clock.hpp) additionally makes the events that do
+ * run O(1) while their state stays epoch-shaped: L_l, W_x, R_x and hR_x
+ * share one AdaptiveClockTable, inflating into the shared arena on first
+ * contention, with purity bits on C_t driving the fast paths.
+ *
  * Every verdict must equal AeroDromeOpt's; the differential suite
  * enforces this on the fuzz corpus.
  */
@@ -37,6 +43,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
+#include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
 
 namespace aero {
@@ -65,14 +72,39 @@ public:
     const AeroDromeOptStats& opt_stats() const { return opt_stats_; }
     const AeroDromeTunedStats& tuned_stats() const { return tuned_stats_; }
 
+    /** Epoch-adaptive storage statistics (hits, inflations). */
+    const AdaptiveClockStats& epoch_stats() const { return tbl_.stats(); }
+
+    /** Toggle the epoch representation and its purity fast paths; call
+     *  before the first event. Off reproduces the full-vector baseline. */
+    void
+    set_epochs(bool on)
+    {
+        epochs_ = on;
+        tbl_.set_epochs_enabled(on);
+    }
+
+    StatList counters() const override;
+
 private:
-    bool check_and_get(ConstClockRef check_clk, ConstClockRef join_clk,
-                       ThreadId t, size_t index, const char* reason);
+    /** Purity of C_u as consumed by fast paths (gated by the toggle). */
+    bool
+    pure_of(ThreadId u) const
+    {
+        return epochs_ && c_pure_[u] != 0;
+    }
+
+    bool check_and_get_entry(size_t slot, ThreadId t, size_t index,
+                             const char* reason);
+    bool check_and_get_entry2(size_t check_slot, size_t join_slot,
+                              ThreadId t, size_t index, const char* reason);
+    bool check_and_get_clock(ConstClockRef clk, ThreadId src, bool src_pure,
+                             ThreadId t, size_t index, const char* reason);
 
     bool
-    begin_before(ThreadId t, ConstClockRef clk) const
+    begin_before(ThreadId t, ClockValue comp) const
     {
-        return cb_[t].get(t) <= clk.get(t);
+        return cb_[t].get(t) <= comp;
     }
 
     bool has_incoming_edge(ThreadId t) const;
@@ -97,12 +129,18 @@ private:
 
     TxnTracker txns_;
 
-    ClockBank c_;   // one row per thread
-    ClockBank cb_;  // one row per thread
-    ClockBank l_;   // one row per lock
-    ClockBank w_;   // one row per var
-    ClockBank rx_;  // R_x, one row per var
-    ClockBank hrx_; // hR_x, one row per var
+    ClockBank c_;  // one row per thread
+    ClockBank cb_; // one row per thread
+
+    /** L_l, W_x, R_x, hR_x — one adaptive table; var x occupies entries
+     *  var_base_[x] + {0: W, 1: R, 2: hR}. */
+    AdaptiveClockTable tbl_;
+    std::vector<uint32_t> lock_slot_;
+    std::vector<uint32_t> var_base_;
+
+    /** c_pure_[t] != 0 iff C_t == bot[v/t]; sound but conservative. */
+    std::vector<uint8_t> c_pure_;
+    bool epochs_ = epochs_enabled_default();
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;

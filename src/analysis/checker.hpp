@@ -15,10 +15,15 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "trace/event.hpp"
 
 namespace aero {
+
+/** Named statistic counters a checker exposes for reports. */
+using StatList = std::vector<std::pair<std::string, uint64_t>>;
 
 /** Evidence attached to a detected conflict-serializability violation. */
 struct Violation {
@@ -58,6 +63,13 @@ public:
     virtual void reserve(uint32_t /*threads*/, uint32_t /*vars*/,
                          uint32_t /*locks*/)
     {}
+
+    /**
+     * Named throughput counters (joins, comparisons, epoch hits,
+     * inflations, ...) for the runner's report output. Engines override
+     * this to surface their internal statistics; the default is empty.
+     */
+    virtual StatList counters() const { return {}; }
 
     /** True once a violation has been detected. */
     virtual bool has_violation() const = 0;

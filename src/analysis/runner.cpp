@@ -34,6 +34,7 @@ run_checker(AtomicityChecker& checker, const Trace& trace,
     }
     result.seconds = watch.elapsed_seconds();
     result.details = checker.violation();
+    result.counters = checker.counters();
     return result;
 }
 
@@ -60,6 +61,7 @@ run_checker_stream(AtomicityChecker& checker, EventSource& source,
     }
     result.seconds = watch.elapsed_seconds();
     result.details = checker.violation();
+    result.counters = checker.counters();
     return result;
 }
 

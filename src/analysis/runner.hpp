@@ -36,6 +36,9 @@ struct RunResult {
     double seconds = 0;
     /** Violation evidence when violation is true. */
     std::optional<Violation> details;
+    /** The checker's named statistic counters, captured after the run
+     *  (epoch hits, inflations, joins, ... — see counters()). */
+    StatList counters;
 
     /** Paper-style verdict cell: "x" (violation) / "ok" / "TO". */
     const char*

@@ -1,0 +1,304 @@
+#pragma once
+
+/**
+ * @file
+ * AdaptiveClockTable — epoch-adaptive storage for a family of clocks that
+ * are epochs (vc/epoch.hpp) in the uncontended common case and ClockBank
+ * rows once contended.
+ *
+ * Every entry is one tagged 64-bit word:
+ *
+ *   bit 63 = 0:  the entry IS the vector bot[v/t], packed as an Epoch
+ *                (value v in bits 0..31, thread t in bits 32..62);
+ *   bit 63 = 1:  bits 0..62 index a row of the shared inflation arena
+ *                (a ClockBank) holding the full vector.
+ *
+ * Promotion is one-way: the first operation whose result is not
+ * epoch-shaped inflates the entry into a fresh arena row, and the entry
+ * stays inflated for the rest of the run ("promote on first contention,
+ * never demote"). Because only contended entries ever inflate, the arena
+ * is a *combined bank region* holding exactly the slow-path rows of every
+ * clock family an engine hands to one table (locks, W_x, R_x, hR_x,
+ * R_{t,x}), which is what makes the end-event propagation sweep a single
+ * streaming pass (see the engines' handle_end).
+ *
+ * Exactness. The table is a representation change, not an approximation:
+ * after every operation, the abstract vector an entry denotes equals the
+ * one the full-vector code path would have computed, so engine verdicts
+ * are bit-for-bit independent of the epochs on/off toggle (enforced by
+ * the differential suite). The O(1) fast paths rely on callers passing a
+ * *purity* bit for source clocks — "this clock equals bot[c[t]/t]" — that
+ * must be sound (may be conservatively false, never wrongly true).
+ *
+ * Toggle: entries behave as always-inflated when epochs are disabled
+ * (set_epochs_enabled(false), default from the AERO_EPOCHS env var),
+ * which is the PR 1 ClockBank representation plus one indirection.
+ */
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "vc/clock_bank.hpp"
+#include "vc/epoch.hpp"
+
+namespace aero {
+
+/** Process-wide default for new tables: false iff AERO_EPOCHS is set to
+ *  "0"/"off" in the environment (read once). */
+bool epochs_enabled_default();
+
+/** Counters for the evaluation harness and the runner's report. */
+struct AdaptiveClockStats {
+    /** Operations resolved in O(1): the entry stayed (or was read as) an
+     *  epoch, or a pure source reduced the update to one component of an
+     *  inflated row. The "fast path carried it" count. */
+    uint64_t epoch_fast = 0;
+    /** O(dim) operations on inflated entries (the bank slow path). */
+    uint64_t vector_ops = 0;
+    /** Entries promoted epoch -> arena row. */
+    uint64_t inflations = 0;
+};
+
+/**
+ * Join `src` (the clock of thread `src_thread`, pure iff `src_pure`) into
+ * `dst` (the clock of thread `dst_thread`), maintaining dst's purity flag.
+ * This is the engines' C_t := C_t |_| clk step with the O(1) pure-source
+ * fast path.
+ */
+inline void
+join_qualified(ClockRef dst, ThreadId dst_thread, uint8_t& dst_pure,
+               ConstClockRef src, ThreadId src_thread, bool src_pure)
+{
+    if (src_pure) {
+        // src == bot[v/src_thread]: a one-component join.
+        ClockValue v = src.get(src_thread);
+        if (v > dst.get(src_thread)) {
+            dst.set(src_thread, v);
+            if (src_thread != dst_thread)
+                dst_pure = 0;
+        }
+        return;
+    }
+    if (dst.data() == src.data())
+        return; // self-join is the identity
+    if (dst_pure && src.is_bottom())
+        return; // joining bottom preserves purity
+    dst.join(src);
+    dst_pure = 0; // conservative: src may have foreign components
+}
+
+/** A family of epoch-adaptive clocks sharing one inflation arena. */
+class AdaptiveClockTable {
+public:
+    AdaptiveClockTable() : epochs_(epochs_enabled_default()) {}
+
+    /** Toggle the epoch representation (call before feeding events; with
+     *  epochs off every entry inflates on first mutation). */
+    void set_epochs_enabled(bool on) { epochs_ = on; }
+    bool epochs_enabled() const { return epochs_; }
+
+    size_t size() const { return entries_.size(); }
+    size_t dim() const { return arena_.dim(); }
+
+    /** Append one bottom entry; returns its index. */
+    uint32_t
+    add_entry()
+    {
+        entries_.push_back(0);
+        return static_cast<uint32_t>(entries_.size() - 1);
+    }
+
+    /** Grow the arena clock dimension (threads seen; engines keep all
+     *  their banks and tables at one shared dimension). */
+    void ensure_dim(size_t d) { arena_.ensure_dim(d); }
+
+    bool
+    is_inflated(size_t i) const
+    {
+        return (entries_[i] & kInflatedTag) != 0;
+    }
+
+    /** The entry as an epoch; valid iff !is_inflated(i). */
+    Epoch
+    epoch_at(size_t i) const
+    {
+        assert(!is_inflated(i));
+        return Epoch::from_bits(entries_[i]);
+    }
+
+    /** The entry's arena row; valid iff is_inflated(i). Invalidated by
+     *  any operation that may inflate another entry. */
+    ConstClockRef
+    row_at(size_t i) const
+    {
+        assert(is_inflated(i));
+        return arena_[entries_[i] & ~kInflatedTag];
+    }
+
+    /** Component t of entry i. O(1) for both representations. */
+    ClockValue
+    get(size_t i, size_t t) const
+    {
+        uint64_t bits = entries_[i];
+        if (bits & kInflatedTag)
+            return arena_[bits & ~kInflatedTag].get(t);
+        return Epoch::from_bits(bits).get(t);
+    }
+
+    bool
+    is_bottom(size_t i) const
+    {
+        uint64_t bits = entries_[i];
+        if (bits & kInflatedTag)
+            return arena_[bits & ~kInflatedTag].is_bottom();
+        return Epoch::from_bits(bits).is_bottom();
+    }
+
+    /** entry_i := c, where c is thread t's clock (pure iff c_pure). */
+    void
+    assign(size_t i, ConstClockRef c, ThreadId t, bool c_pure)
+    {
+        if (epochs_ && c_pure && !is_inflated(i)) {
+            entries_[i] = Epoch(c.get(t), t).bits();
+            ++stats_.epoch_fast;
+            return;
+        }
+        assign_slow(i, c, t, c_pure);
+    }
+
+    /** entry_i := entry_i |_| c. */
+    void
+    join(size_t i, ConstClockRef c, ThreadId t, bool c_pure)
+    {
+        uint64_t bits = entries_[i];
+        if (c_pure) {
+            ClockValue v = c.get(t);
+            if (bits & kInflatedTag) {
+                // One-component join into the existing row.
+                ClockRef row = mut_row(bits);
+                if (v > row.get(t))
+                    row.set(t, v);
+                ++stats_.epoch_fast;
+                return;
+            }
+            Epoch e = Epoch::from_bits(bits);
+            if (epochs_ && (e.is_bottom() || e.thread() == t)) {
+                ClockValue cur = e.thread() == t ? e.value() : 0;
+                entries_[i] = Epoch(v > cur ? v : cur, t).bits();
+                ++stats_.epoch_fast;
+                return;
+            }
+            if (v == 0) {
+                ++stats_.epoch_fast;
+                return; // joining bottom
+            }
+        }
+        join_slow(i, c, t, c_pure);
+    }
+
+    /** entry_i := entry_i |_| c[0/t] (the hR_x update). A pure source is
+     *  a complete no-op: bot[v/t] with component t zeroed is bottom. */
+    void
+    join_except(size_t i, ConstClockRef c, ThreadId t, bool c_pure)
+    {
+        if (c_pure) {
+            ++stats_.epoch_fast;
+            return;
+        }
+        join_except_slow(i, c, t);
+    }
+
+    /** dst := dst |_| entry_i, maintaining dst's purity flag (dst is the
+     *  clock of dst_thread). The engines' C_t |_|= W_x / R_x step. */
+    void
+    join_into(ClockRef dst, size_t i, ThreadId dst_thread, uint8_t& dst_pure)
+    {
+        uint64_t bits = entries_[i];
+        if (!(bits & kInflatedTag)) {
+            Epoch e = Epoch::from_bits(bits);
+            if (e.is_bottom())
+                return; // joining bottom: no work, no accounting
+            if (e.value() > dst.get(e.thread())) {
+                dst.set(e.thread(), e.value());
+                if (e.thread() != dst_thread)
+                    dst_pure = 0;
+            }
+            ++stats_.epoch_fast;
+            return;
+        }
+        ConstClockRef row = arena_[bits & ~kInflatedTag];
+        ++stats_.vector_ops;
+        if (dst_pure && row.is_bottom())
+            return;
+        dst.join(row);
+        dst_pure = 0;
+    }
+
+    /**
+     * a sqsubseteq entry_i, where a is the clock of a_thread (pure iff
+     * a_pure). The full-vector comparison form used by the basic engine;
+     * O(1) when either side is epoch-shaped.
+     */
+    bool
+    vector_leq_entry(ConstClockRef a, size_t i, ThreadId a_thread,
+                     bool a_pure) const
+    {
+        uint64_t bits = entries_[i];
+        if (bits & kInflatedTag)
+            return a.leq(arena_[bits & ~kInflatedTag]);
+        Epoch e = Epoch::from_bits(bits);
+        if (a_pure) {
+            // bot[a_t/a_thread] sqsubseteq bot[v/u]: one component test.
+            return a.get(a_thread) <= e.get(a_thread);
+        }
+        if (a.get(e.thread()) > e.value())
+            return false;
+        for (size_t j = 0; j < a.dim(); ++j) {
+            if (j != e.thread() && a.get(j) != 0)
+                return false;
+        }
+        return true;
+    }
+
+    /** Materialise entry i as a scalar VectorClock (tests, reports). */
+    VectorClock
+    to_vector_clock(size_t i) const
+    {
+        if (is_inflated(i))
+            return row_at(i).to_vector_clock();
+        return epoch_at(i).to_vector_clock();
+    }
+
+    const AdaptiveClockStats& stats() const { return stats_; }
+
+    /** The inflation arena (tests, benchmarks). */
+    const ClockBank& arena() const { return arena_; }
+    size_t arena_rows() const { return arena_rows_; }
+
+private:
+    static constexpr uint64_t kInflatedTag = uint64_t{1} << 63;
+
+    ClockRef
+    mut_row(uint64_t bits)
+    {
+        return arena_[bits & ~kInflatedTag];
+    }
+
+    /** Promote entry i into a fresh (bottom) arena row; copies the old
+     *  epoch's contents iff copy_contents. */
+    ClockRef inflate(size_t i, bool copy_contents);
+
+    void assign_slow(size_t i, ConstClockRef c, ThreadId t, bool c_pure);
+    void join_slow(size_t i, ConstClockRef c, ThreadId t, bool c_pure);
+    void join_except_slow(size_t i, ConstClockRef c, ThreadId t);
+
+    std::vector<uint64_t> entries_;
+    ClockBank arena_;
+    size_t arena_rows_ = 0;
+    bool epochs_;
+    AdaptiveClockStats stats_;
+};
+
+} // namespace aero

@@ -78,6 +78,18 @@ public:
 
     const VelodromeStats& stats() const { return stats_; }
 
+    StatList
+    counters() const override
+    {
+        return {
+            {"max_live_nodes", stats_.max_live_nodes},
+            {"total_nodes", stats_.total_nodes},
+            {"total_edges", stats_.total_edges},
+            {"gc_deleted", stats_.gc_deleted},
+            {"dfs_visits", stats_.dfs_visits},
+        };
+    }
+
 private:
     static constexpr uint32_t kNone = UINT32_MAX;
 

@@ -56,6 +56,20 @@ public:
     /** Edge insertions that required reordering. */
     uint64_t reordered_edges() const { return reordered_edges_; }
 
+    StatList
+    counters() const override
+    {
+        return {
+            {"max_live_nodes", stats_.max_live_nodes},
+            {"total_nodes", stats_.total_nodes},
+            {"total_edges", stats_.total_edges},
+            {"gc_deleted", stats_.gc_deleted},
+            {"dfs_visits", stats_.dfs_visits},
+            {"fast_edges", fast_edges_},
+            {"reordered_edges", reordered_edges_},
+        };
+    }
+
 private:
     static constexpr uint32_t kNone = UINT32_MAX;
 

@@ -19,9 +19,11 @@
 #include "aerodrome/aerodrome_readopt.hpp"
 #include "aerodrome/aerodrome_tuned.hpp"
 #include "analysis/runner.hpp"
+#include "gen/patterns.hpp"
 #include "gen/random_program.hpp"
 #include "oracle/serializability_oracle.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/builder.hpp"
 #include "trace/validator.hpp"
 #include "velodrome/velodrome.hpp"
 
@@ -211,6 +213,139 @@ TEST_P(EngineLockstep, FourEnginesAgreeEventForEvent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineLockstep,
                          ::testing::Range<uint64_t>(1, 200));
+
+/**
+ * Epoch-representation parity: every engine with the epoch-adaptive
+ * storage ON must agree *event for event* with itself running epochs OFF
+ * (the always-inflated full-vector baseline). The adaptive layer is a
+ * representation change, not an approximation, so any divergence — even
+ * in the detection point — is a bug in the epoch fast paths.
+ */
+template <typename Engine>
+void
+expect_epoch_parity(const Trace& trace)
+{
+    Engine on(trace.num_threads(), trace.num_vars(), trace.num_locks());
+    Engine off(trace.num_threads(), trace.num_vars(), trace.num_locks());
+    on.set_epochs(true);
+    off.set_epochs(false);
+
+    const auto& events = trace.events();
+    for (size_t i = 0; i < events.size(); ++i) {
+        bool a = on.process(events[i], i);
+        bool b = off.process(events[i], i);
+        ASSERT_EQ(a, b) << "epochs on/off diverged at event " << i;
+        if (a)
+            break;
+    }
+    ASSERT_EQ(on.has_violation(), off.has_violation());
+    if (on.has_violation()) {
+        EXPECT_EQ(on.violation()->event_index,
+                  off.violation()->event_index);
+        EXPECT_EQ(on.violation()->thread, off.violation()->thread);
+    }
+    // OFF must never have used the epoch representation.
+    EXPECT_EQ(off.epoch_stats().epoch_fast, 0u);
+}
+
+class EpochParity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpochParity, AllEnginesAgreeWithEpochsOff)
+{
+    // High-contention shape: few variables and locks across several
+    // threads force inflation of most entries, exercising the slow paths
+    // and the promotion boundary.
+    DiffParams p{GetParam(), 4, 3, 2, 0.8, sim::Policy::kRandom};
+    Trace trace = generate(p);
+    expect_epoch_parity<AeroDromeBasic>(trace);
+    expect_epoch_parity<AeroDromeReadOpt>(trace);
+    expect_epoch_parity<AeroDromeOpt>(trace);
+    expect_epoch_parity<AeroDromeTuned>(trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochParity,
+                         ::testing::Range<uint64_t>(500, 640));
+
+TEST(EpochAdaptive, UncontendedWorkloadNeverInflates)
+{
+    // Threads touching disjoint variables: every clock in the per-var
+    // tables stays a pure epoch, so the arena must stay empty and the
+    // fast path must carry all traffic.
+    Trace t = gen::make_independent(4, 50, 6);
+    AeroDromeReadOpt checker(t.num_threads(), t.num_vars(), t.num_locks());
+    checker.set_epochs(true);
+    EXPECT_FALSE(run_checker(checker, t).violation);
+    EXPECT_EQ(checker.epoch_stats().inflations, 0u);
+    EXPECT_GT(checker.epoch_stats().epoch_fast, 0u);
+}
+
+TEST(EpochAdaptive, ContendedVariableInflatesOnceAndStaysExact)
+{
+    // Unary (outside-transaction) accesses are handled eagerly by every
+    // engine: t1's write publishes W_x as an epoch, t2's read absorbs it
+    // (making C_t2 impure) and then joins that impure clock into R_x and
+    // hR_x — a *forced* inflation — after which t3 keeps using the
+    // inflated rows. Serializable throughout; every engine must agree
+    // with its epochs-off baseline on the inflated state.
+    TraceBuilder b;
+    b.write("t1", "x");
+    b.read("t2", "x");
+    b.read("t3", "x");
+    b.write("t3", "y");
+    b.read("t2", "y");
+    Trace t = b.take();
+
+    AeroDromeTuned checker(t.num_threads(), t.num_vars(), t.num_locks());
+    checker.set_epochs(true);
+    EXPECT_FALSE(run_checker(checker, t).violation);
+    EXPECT_GT(checker.epoch_stats().inflations, 0u);
+
+    expect_epoch_parity<AeroDromeBasic>(t);
+    expect_epoch_parity<AeroDromeReadOpt>(t);
+    expect_epoch_parity<AeroDromeOpt>(t);
+    expect_epoch_parity<AeroDromeTuned>(t);
+}
+
+TEST(EpochAdaptive, OpenTransactionContentionParity)
+{
+    // Contention between two *open* transactions: t2 reads t1's stale
+    // write (live-clock proxy), t1's second write flushes t2 as a stale
+    // reader — joining t2's impure clock into R_x — and the write-read
+    // conflict closes a genuine cycle. The violating event and thread
+    // must be identical with epochs on and off.
+    TraceBuilder b;
+    b.begin("t1").write("t1", "x");
+    b.begin("t2").read("t2", "x");
+    b.write("t1", "x");
+    b.end("t1").end("t2");
+    Trace t = b.take();
+
+    AeroDromeOpt checker(t.num_threads(), t.num_vars(), t.num_locks());
+    checker.set_epochs(true);
+    EXPECT_TRUE(run_checker(checker, t).violation);
+
+    expect_epoch_parity<AeroDromeBasic>(t);
+    expect_epoch_parity<AeroDromeReadOpt>(t);
+    expect_epoch_parity<AeroDromeOpt>(t);
+    expect_epoch_parity<AeroDromeTuned>(t);
+}
+
+TEST(EpochAdaptive, LockHandoffParity)
+{
+    // Lock clocks are adaptive too: a release publishes an epoch while
+    // the releasing thread is uncontended, and the first cross-thread
+    // acquire consumes it; later impure releases inflate the entry.
+    TraceBuilder b;
+    b.acquire("t1", "l").write("t1", "x").release("t1", "l");
+    b.acquire("t2", "l").read("t2", "x").release("t2", "l");
+    b.acquire("t1", "l").write("t1", "x").release("t1", "l");
+    b.acquire("t3", "l").read("t3", "x").release("t3", "l");
+    Trace t = b.take();
+    expect_epoch_parity<AeroDromeBasic>(t);
+    expect_epoch_parity<AeroDromeReadOpt>(t);
+    expect_epoch_parity<AeroDromeOpt>(t);
+    expect_epoch_parity<AeroDromeTuned>(t);
+}
 
 } // namespace
 } // namespace aero
