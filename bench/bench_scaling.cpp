@@ -15,15 +15,28 @@
  *   - independent: no cross-thread conflicts at all — pure per-event
  *                  overhead of each analysis.
  *
+ * A second mode, --shards, sweeps the sharded runner (src/shard/) over
+ * shard counts on the ablation workloads and writes BENCH_shards.json:
+ * end-to-end wall time, events/s and speedup vs the plain single-engine
+ * runner, per workload x engine x shard count. Scaling beyond 1x needs
+ * at least as many cores as shards; the JSON records
+ * hardware_concurrency so single-core CI numbers read as what they are.
+ *
  * Usage: bench_scaling [--budget SECONDS] [--points N]
+ *        bench_scaling --shards [--quick] [--json PATH]
+ *                      [--merge-epoch K]
  */
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "aerodrome/aerodrome_opt.hpp"
+#include "aerodrome/aerodrome_readopt.hpp"
 #include "analysis/runner.hpp"
 #include "gen/patterns.hpp"
+#include "shard/sharded_runner.hpp"
 #include "support/str.hpp"
 #include "velodrome/velodrome.hpp"
 #include "velodrome/velodrome_pk.hpp"
@@ -35,6 +48,10 @@ using namespace aero;
 struct Args {
     double budget = 10.0;
     int points = 5;
+    bool shards_mode = false;
+    bool quick = false;
+    uint64_t merge_epoch = 4096;
+    std::string json_path = "BENCH_shards.json";
 };
 
 void
@@ -82,6 +99,141 @@ run_series(const char* name, const std::vector<Trace>& traces,
     }
 }
 
+// --- Shard sweep (--shards) -------------------------------------------------
+
+struct ShardEngine {
+    const char* name;
+    EngineFactory factory;
+    RunResult (*baseline)(const Trace&);
+};
+
+template <typename Engine>
+RunResult
+run_baseline(const Trace& t)
+{
+    Engine engine(t.num_threads(), t.num_vars(), t.num_locks());
+    return run_checker(engine, t);
+}
+
+int
+run_shard_sweep(const Args& args)
+{
+    const unsigned cores = std::thread::hardware_concurrency();
+    const uint32_t scale = args.quick ? 1 : 4;
+
+    struct Workload {
+        const char* name;
+        Trace trace;
+    };
+    std::vector<Workload> workloads;
+    // Var-heavy shapes: per-variable state dominates, so partitioning
+    // variables divides the hot sweeps (see ROADMAP's quadratic-end
+    // note for readopt).
+    workloads.push_back({"pipeline", gen::make_pipeline(8, 2500 * scale)});
+    workloads.push_back(
+        {"independent", gen::make_independent(8, 1250 * scale, 8)});
+    workloads.push_back({"mesh", gen::make_reader_mesh(8, 5000 * scale)});
+    {
+        gen::StarOptions star;
+        star.producers = 4;
+        star.consumers = 4;
+        star.rounds = 1250 * scale;
+        workloads.push_back({"star", gen::make_star(star)});
+    }
+
+    std::vector<ShardEngine> engines;
+    engines.push_back({"aerodrome",
+                       [] { return std::make_unique<AeroDromeOpt>(0, 0, 0); },
+                       &run_baseline<AeroDromeOpt>});
+    engines.push_back(
+        {"aerodrome-readopt",
+         [] { return std::make_unique<AeroDromeReadOpt>(0, 0, 0); },
+         &run_baseline<AeroDromeReadOpt>});
+
+    std::printf("Sharded-runner sweep (merge epoch %llu, %u hardware "
+                "threads)\n",
+                static_cast<unsigned long long>(args.merge_epoch), cores);
+
+    std::string json = "{\n";
+    json += "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
+    json += "  \"merge_epoch\": " + std::to_string(args.merge_epoch) +
+            ",\n  \"workloads\": [\n";
+
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const Workload& wl = workloads[w];
+        std::printf("\n-- %s (%s events) --\n", wl.name,
+                    with_commas(wl.trace.size()).c_str());
+        std::printf("%20s  %8s  %10s  %12s  %8s\n", "engine", "shards",
+                    "time", "events/s", "speedup");
+
+        json += "    {\"name\": \"" + std::string(wl.name) +
+                "\", \"events\": " + std::to_string(wl.trace.size()) +
+                ", \"runs\": [\n";
+
+        bool first_run = true;
+        for (const ShardEngine& eng : engines) {
+            RunResult base = eng.baseline(wl.trace);
+            auto emit = [&](const char* label, uint32_t shards,
+                            double seconds, uint64_t merges) {
+                double evs = seconds > 0
+                                 ? static_cast<double>(wl.trace.size()) /
+                                       seconds
+                                 : 0;
+                double speedup =
+                    seconds > 0 ? base.seconds / seconds : 0;
+                std::printf("%20s  %8u  %10s  %12.0f  %7.2fx\n", label,
+                            shards, format_duration(seconds).c_str(), evs,
+                            speedup);
+                char buf[256];
+                std::snprintf(buf, sizeof(buf),
+                              "      %s{\"engine\": \"%s\", \"shards\": "
+                              "%u, \"seconds\": %.6f, \"events_per_s\": "
+                              "%.0f, \"speedup\": %.3f, \"merges\": %llu}",
+                              first_run ? "" : ",", label, shards, seconds,
+                              evs, static_cast<double>(speedup),
+                              static_cast<unsigned long long>(merges));
+                first_run = false;
+                json += buf;
+                json += "\n";
+            };
+            emit(eng.name, 1, base.seconds, 0);
+            for (uint32_t shards : {2u, 4u, 8u}) {
+                ShardOptions opts;
+                opts.shards = shards;
+                opts.merge_epoch = args.merge_epoch;
+                ShardRunResult r =
+                    run_sharded(eng.factory, wl.trace, opts);
+                if (r.result.violation != base.violation) {
+                    std::fprintf(stderr,
+                                 "verdict mismatch on %s x%u shards!\n",
+                                 wl.name, shards);
+                    return 1;
+                }
+                emit(eng.name, shards, r.result.seconds,
+                     r.frontier_merges);
+            }
+        }
+        json += w + 1 < workloads.size() ? "    ]},\n" : "    ]}\n";
+    }
+    json += "  ]\n}\n";
+
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+        return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", args.json_path.c_str());
+    if (cores < 2) {
+        std::printf("note: %u hardware thread(s) — shard workers "
+                    "serialize; speedups reflect pipeline overhead, not "
+                    "parallel capacity.\n",
+                    cores);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -94,7 +246,17 @@ main(int argc, char** argv)
             args.budget = std::stod(argv[++i]);
         else if (a == "--points" && i + 1 < argc)
             args.points = std::stoi(argv[++i]);
+        else if (a == "--shards")
+            args.shards_mode = true;
+        else if (a == "--quick")
+            args.quick = true;
+        else if (a == "--merge-epoch" && i + 1 < argc)
+            args.merge_epoch = std::stoull(argv[++i]);
+        else if (a == "--json" && i + 1 < argc)
+            args.json_path = argv[++i];
     }
+    if (args.shards_mode)
+        return run_shard_sweep(args);
 
     std::printf("Scaling series: linear-time AeroDrome vs graph-based "
                 "Velodrome\n(per-series Velodrome budget: %.3gs)\n",

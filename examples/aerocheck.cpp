@@ -9,13 +9,19 @@
  *
  * Usage:
  *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
+ *             [--shards N] [--merge-epoch K]
  *             [--validate] [--stats] [--witness]
  *
  *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
  *             aerodrome-basic | velodrome | velodrome-pk
+ *   --shards: check with N parallel engine shards (src/shard/README.md);
+ *             defaults to the AERO_SHARDS env var, else 1 (single engine)
+ *   --merge-epoch: frontier-merge period in events for sharded runs
+ *             (default 1024; 1 = lockstep/exact, 0 = never merge)
  *   --validate: run the well-formedness validator first (loads the
  *               trace into memory)
- *   --stats: print engine-specific statistics after the run
+ *   --stats: print engine-specific statistics after the run (per shard
+ *            plus totals when sharded)
  *   --witness: on a violation, reconstruct and print a witness cycle
  *              (one offending SCC of the transaction graph over the
  *              prefix up to the violating event; loads the trace)
@@ -26,8 +32,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "aerodrome/aerodrome_basic.hpp"
@@ -36,6 +44,7 @@
 #include "aerodrome/aerodrome_tuned.hpp"
 #include "analysis/runner.hpp"
 #include "oracle/serializability_oracle.hpp"
+#include "shard/sharded_runner.hpp"
 #include "support/assert.hpp"
 #include "support/str.hpp"
 #include "trace/binary_io.hpp"
@@ -53,6 +62,8 @@ struct Args {
     std::string path;
     std::string engine = "aerodrome";
     double budget = 0;
+    uint32_t shards = 0; // 0: AERO_SHARDS env, else single engine
+    uint64_t merge_epoch = 1024;
     bool validate_first = false;
     bool stats = false;
     bool witness = false;
@@ -89,12 +100,26 @@ print_witness(const Trace& trace, size_t violation_index)
     }
 }
 
+/** Parse a decimal integer in [lo, hi]; false on garbage/out-of-range. */
+bool
+parse_bounded(const char* s, unsigned long lo, unsigned long hi,
+              unsigned long& out)
+{
+    char* end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (s[0] == '\0' || s[0] == '-' || !end || *end != '\0' || v < lo ||
+        v > hi)
+        return false;
+    out = v;
+    return true;
+}
+
 int
 usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
-                 "[--validate] [--stats]\n"
+                 "[--shards N] [--merge-epoch K] [--validate] [--stats]\n"
                  "engines: aerodrome aerodrome-tuned aerodrome-readopt "
                  "aerodrome-basic velodrome velodrome-pk\n",
                  argv0);
@@ -122,11 +147,8 @@ make_engine(const std::string& name)
 }
 
 void
-print_stats(const AtomicityChecker& checker)
+print_counters(const StatList& counters)
 {
-    // Every engine exposes its internals through the same counters()
-    // surface the runner records; print them uniformly.
-    StatList counters = checker.counters();
     if (counters.empty()) {
         std::printf("  (no statistics exposed by this engine)\n");
         return;
@@ -138,6 +160,23 @@ print_stats(const AtomicityChecker& checker)
         std::printf("  %-*s %s\n", static_cast<int>(width + 1),
                     (name + ":").c_str(), with_commas(value).c_str());
     }
+}
+
+/** Per-shard breakdown plus the name-wise totals. */
+void
+print_shard_stats(const ShardRunResult& r)
+{
+    for (uint32_t s = 0; s < r.shard_counters.size(); ++s) {
+        std::printf("  shard %u (%s events):\n", s,
+                    with_commas(r.shard_events[s]).c_str());
+        for (const auto& [name, value] : r.shard_counters[s]) {
+            std::printf("    %-20s %s\n", (name + ":").c_str(),
+                        with_commas(value).c_str());
+        }
+    }
+    std::printf("  totals over %u shards (%s frontier merges):\n",
+                r.shards, with_commas(r.frontier_merges).c_str());
+    print_counters(r.result.counters);
 }
 
 } // namespace
@@ -152,6 +191,16 @@ main(int argc, char** argv)
             args.engine = argv[++i];
         } else if (a == "--budget" && i + 1 < argc) {
             args.budget = std::stod(argv[++i]);
+        } else if (a == "--shards" && i + 1 < argc) {
+            unsigned long v = 0;
+            if (!parse_bounded(argv[++i], 1, ShardOptions::kMaxShards, v))
+                return usage(argv[0]);
+            args.shards = static_cast<uint32_t>(v);
+        } else if (a == "--merge-epoch" && i + 1 < argc) {
+            unsigned long v = 0;
+            if (!parse_bounded(argv[++i], 0, 1ul << 30, v))
+                return usage(argv[0]);
+            args.merge_epoch = v;
         } else if (a == "--validate") {
             args.validate_first = true;
         } else if (a == "--stats") {
@@ -198,18 +247,49 @@ main(int argc, char** argv)
 
         RunBudget budget;
         budget.max_seconds = args.budget;
-        RunResult r = run_checker_stream(*checker, *source, budget);
 
-        std::printf("%s: %s after %s events in %s\n",
+        uint32_t shards = args.shards;
+        if (shards == 0) {
+            // CI and batch scripts select sharding per process; garbage
+            // or out-of-range values fall back to a single engine.
+            unsigned long v = 0;
+            const char* env = std::getenv("AERO_SHARDS");
+            shards = (env && parse_bounded(env, 1, ShardOptions::kMaxShards,
+                                           v))
+                         ? static_cast<uint32_t>(v)
+                         : 1;
+        }
+
+        RunResult r;
+        std::optional<ShardRunResult> sharded;
+        if (shards > 1) {
+            ShardOptions sopts;
+            sopts.shards = shards;
+            sopts.merge_epoch = args.merge_epoch;
+            sopts.budget = budget;
+            sharded = run_sharded(
+                [&args] { return make_engine(args.engine); }, *source,
+                sopts);
+            r = sharded->result;
+        } else {
+            r = run_checker_stream(*checker, *source, budget);
+        }
+
+        std::printf("%s%s: %s after %s events in %s\n",
                     std::string(checker->name()).c_str(),
+                    shards > 1
+                        ? (" x" + std::to_string(shards) + " shards").c_str()
+                        : "",
                     r.timed_out ? "BUDGET EXCEEDED"
                                 : (r.violation ? "VIOLATION" : "serializable"),
                     with_commas(r.events_processed).c_str(),
                     format_duration(r.seconds).c_str());
         if (r.violation) {
-            std::printf("  at event index %zu, thread id %u: %s\n",
-                        r.details->event_index, r.details->thread,
-                        r.details->reason.c_str());
+            std::printf("  at event index %zu, thread id %u",
+                        r.details->event_index, r.details->thread);
+            if (shards > 1)
+                std::printf(" (shard %u)", r.details->shard);
+            std::printf(": %s\n", r.details->reason.c_str());
             if (args.witness) {
                 bool binary =
                     args.path.size() > 4 &&
@@ -220,8 +300,12 @@ main(int argc, char** argv)
                 print_witness(t, r.details->event_index);
             }
         }
-        if (args.stats)
-            print_stats(*checker);
+        if (args.stats) {
+            if (sharded)
+                print_shard_stats(*sharded);
+            else
+                print_counters(checker->counters());
+        }
         if (r.timed_out)
             return 3;
         return r.violation ? 1 : 0;

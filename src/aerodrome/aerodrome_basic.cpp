@@ -1,5 +1,7 @@
 #include "aerodrome/aerodrome_basic.hpp"
 
+#include "aerodrome/frontier_util.hpp"
+
 namespace aero {
 
 AeroDromeBasic::AeroDromeBasic(uint32_t num_threads, uint32_t num_vars,
@@ -31,6 +33,23 @@ AeroDromeBasic::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
 }
 
 void
+AeroDromeBasic::export_frontier(ClockFrontier& out) const
+{
+    detail::export_bank_frontier(c_, out);
+}
+
+void
+AeroDromeBasic::adopt_frontier(const ClockFrontier& in)
+{
+    if (in.threads == 0)
+        return;
+    ensure_thread(in.threads - 1);
+    if (in.dim > c_.dim())
+        grow_dim(in.dim);
+    detail::adopt_bank_frontier(c_, c_pure_, in, [](ThreadId) {});
+}
+
+void
 AeroDromeBasic::grow_dim(size_t n)
 {
     c_.ensure_dim(n);
@@ -58,11 +77,21 @@ AeroDromeBasic::ensure_thread(ThreadId t)
 void
 AeroDromeBasic::ensure_var(VarId x)
 {
+    // Only the per-variable bookkeeping is sized by id range; the table
+    // entry is allocated by w_slot() on first access.
     while (x >= w_slot_.size()) {
-        w_slot_.push_back(tbl_.add_entry());
+        w_slot_.push_back(kNoSlot);
         r_slot_.emplace_back();
         last_w_thr_.push_back(kNoThread);
     }
+}
+
+uint32_t
+AeroDromeBasic::w_slot(VarId x)
+{
+    if (w_slot_[x] == kNoSlot)
+        w_slot_[x] = tbl_.add_entry();
+    return w_slot_[x];
 }
 
 void
@@ -211,7 +240,7 @@ AeroDromeBasic::process(const Event& e, size_t index)
       case Op::kRead: {
         ensure_var(e.target);
         if (last_w_thr_[e.target] != t) {
-            if (check_and_get_entry(w_slot_[e.target], t, index,
+            if (check_and_get_entry(w_slot(e.target), t, index,
                                     "read saw conflicting write")) {
                 return true;
             }
@@ -224,7 +253,7 @@ AeroDromeBasic::process(const Event& e, size_t index)
       case Op::kWrite: {
         ensure_var(e.target);
         if (last_w_thr_[e.target] != t) {
-            if (check_and_get_entry(w_slot_[e.target], t, index,
+            if (check_and_get_entry(w_slot(e.target), t, index,
                                     "write saw conflicting write")) {
                 return true;
             }
@@ -238,7 +267,7 @@ AeroDromeBasic::process(const Event& e, size_t index)
                 return true;
             }
         }
-        tbl_.assign(w_slot_[e.target], c_[t], t, pure_of(t));
+        tbl_.assign(w_slot(e.target), c_[t], t, pure_of(t));
         last_w_thr_[e.target] = t;
         return false;
       }

@@ -39,6 +39,7 @@
 
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
+#include "support/counter.hpp"
 #include "trace/trace.hpp"
 #include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
@@ -49,9 +50,9 @@ namespace aero {
 /** Statistics for the evaluation harness. */
 struct AeroDromeStats {
     /** Number of vector-clock join operations performed. */
-    uint64_t joins = 0;
+    RelaxedCounter joins;
     /** Number of vector-clock ordering comparisons performed. */
-    uint64_t comparisons = 0;
+    RelaxedCounter comparisons;
 };
 
 /** AeroDrome, Algorithm 1 (basic). */
@@ -65,6 +66,10 @@ public:
     bool process(const Event& e, size_t index) override;
 
     void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
+
+    bool supports_frontier() const override { return true; }
+    void export_frontier(ClockFrontier& out) const override;
+    void adopt_frontier(const ClockFrontier& in) override;
 
     const AeroDromeStats& stats() const { return stats_; }
 
@@ -97,6 +102,8 @@ public:
     /** Test hook: last-write clock of variable x (W_x). */
     VectorClock write_clock_of(VarId x) const
     {
+        if (x >= w_slot_.size() || w_slot_[x] == kNoSlot)
+            return VectorClock(); // never accessed: still bottom
         return tbl_.to_vector_clock(w_slot_[x]);
     }
 
@@ -131,6 +138,11 @@ private:
 
     /** Entry for R_{t,x}, materialized on t's first read of x. */
     uint32_t reader_slot(VarId x, ThreadId t);
+
+    /** W_x's table entry, allocated on first access of x — untouched
+     *  variables own no entries, so the fused end sweep scales with the
+     *  variables actually seen (a shard sees only its partition). */
+    uint32_t w_slot(VarId x);
 
     void ensure_thread(ThreadId t);
     void ensure_var(VarId x);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "aerodrome/frontier_util.hpp"
+
 namespace aero {
 
 AeroDromeOpt::AeroDromeOpt(uint32_t num_threads, uint32_t num_vars,
@@ -33,6 +35,23 @@ AeroDromeOpt::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
         ensure_var(vars - 1);
     if (locks > 0)
         ensure_lock(locks - 1);
+}
+
+void
+AeroDromeOpt::export_frontier(ClockFrontier& out) const
+{
+    detail::export_bank_frontier(c_, out);
+}
+
+void
+AeroDromeOpt::adopt_frontier(const ClockFrontier& in)
+{
+    if (in.threads == 0)
+        return;
+    ensure_thread(in.threads - 1);
+    if (in.dim > c_.dim())
+        grow_dim(in.dim);
+    detail::adopt_bank_frontier(c_, c_pure_, in, [](ThreadId) {});
 }
 
 void

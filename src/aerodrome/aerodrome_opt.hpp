@@ -55,13 +55,13 @@ namespace aero {
 /** Extra statistics for the optimized engine. */
 struct AeroDromeOptStats {
     /** End events whose propagation was skipped by hasIncomingEdge. */
-    uint64_t gc_skipped_ends = 0;
+    RelaxedCounter gc_skipped_ends;
     /** End events that ran the full propagation. */
-    uint64_t propagated_ends = 0;
+    RelaxedCounter propagated_ends;
     /** Lazy read enrollments that avoided an eager clock join. */
-    uint64_t lazy_reads = 0;
+    RelaxedCounter lazy_reads;
     /** Lazy write enrollments that avoided an eager clock copy. */
-    uint64_t lazy_writes = 0;
+    RelaxedCounter lazy_writes;
 };
 
 /** AeroDrome, Algorithm 3 (lazy updates + update sets + GC). */
@@ -75,6 +75,10 @@ public:
     bool process(const Event& e, size_t index) override;
 
     void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
+
+    bool supports_frontier() const override { return true; }
+    void export_frontier(ClockFrontier& out) const override;
+    void adopt_frontier(const ClockFrontier& in) override;
 
     const AeroDromeStats& stats() const { return stats_; }
     const AeroDromeOptStats& opt_stats() const { return opt_stats_; }

@@ -1,5 +1,7 @@
 #include "aerodrome/aerodrome_readopt.hpp"
 
+#include "aerodrome/frontier_util.hpp"
+
 namespace aero {
 
 AeroDromeReadOpt::AeroDromeReadOpt(uint32_t num_threads, uint32_t num_vars,
@@ -30,6 +32,23 @@ AeroDromeReadOpt::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
 }
 
 void
+AeroDromeReadOpt::export_frontier(ClockFrontier& out) const
+{
+    detail::export_bank_frontier(c_, out);
+}
+
+void
+AeroDromeReadOpt::adopt_frontier(const ClockFrontier& in)
+{
+    if (in.threads == 0)
+        return;
+    ensure_thread(in.threads - 1);
+    if (in.dim > c_.dim())
+        grow_dim(in.dim);
+    detail::adopt_bank_frontier(c_, c_pure_, in, [](ThreadId) {});
+}
+
+void
 AeroDromeReadOpt::grow_dim(size_t n)
 {
     c_.ensure_dim(n);
@@ -56,13 +75,23 @@ AeroDromeReadOpt::ensure_thread(ThreadId t)
 void
 AeroDromeReadOpt::ensure_var(VarId x)
 {
+    // Only the per-variable bookkeeping is sized by id range; the three
+    // table entries are allocated by var_slots() on first access.
     while (x >= var_base_.size()) {
-        uint32_t base = add_entry(kWEntry);
-        add_entry(kREntry);
-        add_entry(kHREntry);
-        var_base_.push_back(base);
+        var_base_.push_back(kNoSlot);
         last_w_thr_.push_back(kNoThread);
     }
+}
+
+size_t
+AeroDromeReadOpt::var_slots(VarId x)
+{
+    if (var_base_[x] == kNoSlot) {
+        var_base_[x] = add_entry(kWEntry);
+        add_entry(kREntry);
+        add_entry(kHREntry);
+    }
+    return var_base_[x];
 }
 
 void
@@ -200,7 +229,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
       case Op::kRead: {
         const VarId x = e.target;
         ensure_var(x);
-        const size_t base = var_base_[x];
+        const size_t base = var_slots(x);
         if (last_w_thr_[x] != t) {
             if (check_and_get_entry(base, t, index,
                                     "read saw conflicting write")) {
@@ -217,7 +246,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
       case Op::kWrite: {
         const VarId x = e.target;
         ensure_var(x);
-        const size_t base = var_base_[x];
+        const size_t base = var_slots(x);
         if (last_w_thr_[x] != t) {
             if (check_and_get_entry(base, t, index,
                                     "write saw conflicting write")) {

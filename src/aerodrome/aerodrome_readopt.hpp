@@ -55,6 +55,10 @@ public:
 
     void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
 
+    bool supports_frontier() const override { return true; }
+    void export_frontier(ClockFrontier& out) const override;
+    void adopt_frontier(const ClockFrontier& in) override;
+
     const AeroDromeStats& stats() const { return stats_; }
 
     /** Epoch-adaptive storage statistics (hits, inflations). */
@@ -106,6 +110,16 @@ private:
     void ensure_var(VarId x);
     void ensure_lock(LockId l);
     void grow_dim(size_t n);
+
+    /**
+     * W/R/hR table entries of x, allocated on first access. Untouched
+     * variables own no table entries, so the fused end sweep — and a
+     * shard's memory — scale with the variables actually seen, not with
+     * the id space (a sharded engine sees only its own partition).
+     */
+    size_t var_slots(VarId x);
+
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
 
     bool handle_end(ThreadId t, size_t index);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "aerodrome/frontier_util.hpp"
+
 namespace aero {
 
 AeroDromeTuned::AeroDromeTuned(uint32_t num_threads, uint32_t num_vars,
@@ -35,6 +37,26 @@ AeroDromeTuned::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
         ensure_var(vars - 1);
     if (locks > 0)
         ensure_lock(locks - 1);
+}
+
+void
+AeroDromeTuned::export_frontier(ClockFrontier& out) const
+{
+    detail::export_bank_frontier(c_, out);
+}
+
+void
+AeroDromeTuned::adopt_frontier(const ClockFrontier& in)
+{
+    if (in.threads == 0)
+        return;
+    ensure_thread(in.threads - 1);
+    if (in.dim > c_.dim())
+        grow_dim(in.dim);
+    // A merged-in ordering invalidates the same-epoch skips, which assume
+    // "this thread's clock has not changed since the remembered access".
+    detail::adopt_bank_frontier(c_, c_pure_, in,
+                                [this](ThreadId t) { bump_clock_version(t); });
 }
 
 void

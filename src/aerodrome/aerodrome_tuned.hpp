@@ -51,9 +51,9 @@ namespace aero {
 /** Extra statistics for the tuned engine. */
 struct AeroDromeTunedStats {
     /** Reads skipped by the same-epoch fast path. */
-    uint64_t same_epoch_reads = 0;
+    RelaxedCounter same_epoch_reads;
     /** Writes skipped by the same-epoch fast path. */
-    uint64_t same_epoch_writes = 0;
+    RelaxedCounter same_epoch_writes;
 };
 
 /** AeroDrome with active-thread and same-epoch fast paths. */
@@ -67,6 +67,10 @@ public:
     bool process(const Event& e, size_t index) override;
 
     void reserve(uint32_t threads, uint32_t vars, uint32_t locks) override;
+
+    bool supports_frontier() const override { return true; }
+    void export_frontier(ClockFrontier& out) const override;
+    void adopt_frontier(const ClockFrontier& in) override;
 
     const AeroDromeStats& stats() const { return stats_; }
     const AeroDromeOptStats& opt_stats() const { return opt_stats_; }

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Shared bodies for the engines' clock-frontier export/adopt hooks
+ * (AtomicityChecker::export_frontier / adopt_frontier, consumed by the
+ * sharded runner in src/shard/).
+ *
+ * Every AeroDrome variant stores C_t as rows of a ClockBank with a
+ * per-thread purity byte, so the two operations are identical across the
+ * four engines; only the "clock changed" side effects differ (the tuned
+ * engine must additionally invalidate its same-epoch versions). The
+ * caller is responsible for growing its state (ensure_thread / grow_dim)
+ * before adopting, so these helpers never reallocate mid-loop.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/checker.hpp"
+#include "vc/clock_bank.hpp"
+
+namespace aero::detail {
+
+/** Snapshot every row of `c` into `out` (resets it first). */
+inline void
+export_bank_frontier(const ClockBank& c, ClockFrontier& out)
+{
+    const uint32_t n = static_cast<uint32_t>(c.rows());
+    const uint32_t d = static_cast<uint32_t>(c.dim());
+    out.reset(n, d);
+    for (uint32_t t = 0; t < n; ++t) {
+        ConstClockRef ct = c[t];
+        for (uint32_t j = 0; j < d; ++j)
+            out.set(t, j, ct.get(j));
+    }
+}
+
+/**
+ * c[t] := c[t] |_| in[t] for every imported thread, clearing the purity
+ * byte of any clock that grew in a foreign component and invoking
+ * `on_changed(t)` for any clock that grew at all. `c` must already cover
+ * in.threads rows and in.dim components.
+ */
+template <typename OnChanged>
+inline void
+adopt_bank_frontier(ClockBank& c, std::vector<uint8_t>& pure,
+                    const ClockFrontier& in, OnChanged on_changed)
+{
+    for (uint32_t t = 0; t < in.threads; ++t) {
+        ClockRef ct = c[t];
+        bool changed = false;
+        bool foreign = false;
+        for (uint32_t j = 0; j < in.dim; ++j) {
+            ClockValue v = in.get(t, j);
+            if (v > ct.get(j)) {
+                ct.set(j, v);
+                changed = true;
+                if (j != t)
+                    foreign = true;
+            }
+        }
+        if (foreign)
+            pure[t] = 0;
+        if (changed)
+            on_changed(t);
+    }
+}
+
+} // namespace aero::detail

@@ -11,6 +11,7 @@
  * algorithm "exits" when a conflict-serializability violation is declared.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "trace/event.hpp"
+#include "vc/vector_clock.hpp"
 
 namespace aero {
 
@@ -33,6 +35,65 @@ struct Violation {
     ThreadId thread = kNoThread;
     /** Which check fired (human-readable, e.g. "read saw write clock"). */
     std::string reason;
+    /** Shard whose engine fired (0 for single-engine runs; see
+     *  src/shard/). Assigned by the sharded runner's verdict join. */
+    uint32_t shard = 0;
+};
+
+/**
+ * A snapshot of the per-thread clocks C_t of one engine — the currency of
+ * the sharded runner's frontier merge (src/shard/). Stored flat
+ * (row-major, `threads` rows of `dim` components) so export/merge/adopt
+ * are allocation-free streaming loops once the buffers are warm.
+ */
+struct ClockFrontier {
+    uint32_t threads = 0;
+    uint32_t dim = 0;
+    std::vector<ClockValue> values; ///< threads * dim, row t at t * dim
+
+    void
+    reset(uint32_t t, uint32_t d)
+    {
+        threads = t;
+        dim = d;
+        values.assign(static_cast<size_t>(t) * d, 0);
+    }
+
+    ClockValue
+    get(uint32_t t, uint32_t j) const
+    {
+        return (t < threads && j < dim)
+                   ? values[static_cast<size_t>(t) * dim + j]
+                   : 0;
+    }
+
+    void
+    set(uint32_t t, uint32_t j, ClockValue v)
+    {
+        values[static_cast<size_t>(t) * dim + j] = v;
+    }
+
+    /** *this := *this |_| o, pointwise max, growing to cover both. */
+    void
+    join(const ClockFrontier& o)
+    {
+        if (o.threads > threads || o.dim > dim) {
+            ClockFrontier grown;
+            grown.reset(std::max(threads, o.threads), std::max(dim, o.dim));
+            for (uint32_t t = 0; t < threads; ++t)
+                for (uint32_t j = 0; j < dim; ++j)
+                    grown.set(t, j, get(t, j));
+            *this = std::move(grown);
+        }
+        for (uint32_t t = 0; t < o.threads; ++t) {
+            for (uint32_t j = 0; j < o.dim; ++j) {
+                ClockValue v = o.get(t, j);
+                size_t at = static_cast<size_t>(t) * dim + j;
+                if (v > values[at])
+                    values[at] = v;
+            }
+        }
+    }
 };
 
 /** Streaming conflict-serializability checker. */
@@ -68,8 +129,37 @@ public:
      * Named throughput counters (joins, comparisons, epoch hits,
      * inflations, ...) for the runner's report output. Engines override
      * this to surface their internal statistics; the default is empty.
+     *
+     * Engines back these with single-writer relaxed atomics
+     * (support/counter.hpp), so counters() may be called from another
+     * thread while the engine is still processing events.
      */
     virtual StatList counters() const { return {}; }
+
+    /**
+     * Sharded-checking support (src/shard/README.md). An engine that
+     * maintains per-thread clocks C_t can run as one shard of a
+     * ShardedRunner: it must export its clock frontier and adopt a merged
+     * frontier (a pointwise upper bound of every shard's C_t) between
+     * events. Adoption must only *grow* clocks — it joins the merged
+     * frontier in — and must invalidate any cached facts that assumed
+     * C_t was unchanged (purity bits, same-epoch versions).
+     *
+     * Engines without per-thread clocks (the graph-based Velodrome
+     * baseline) leave these unimplemented and cannot be sharded.
+     */
+    virtual bool supports_frontier() const { return false; }
+
+    /** Snapshot the per-thread clocks into `out` (resets it first). */
+    virtual void
+    export_frontier(ClockFrontier& out) const
+    {
+        out.reset(0, 0);
+    }
+
+    /** C_t := C_t |_| in[t] for every thread, creating threads the
+     *  engine has not seen yet. */
+    virtual void adopt_frontier(const ClockFrontier& in) { (void)in; }
 
     /** True once a violation has been detected. */
     virtual bool has_violation() const = 0;

@@ -46,6 +46,13 @@ run_checker_stream(AtomicityChecker& checker, EventSource& source,
     Stopwatch watch;
     const bool limited = budget.max_seconds > 0;
 
+    // Sources that know the stream's metainfo dimensions up front (binary
+    // headers, in-memory traces) get the same arena pre-sizing as the
+    // materialized path; text sources intern incrementally and grow.
+    uint32_t threads = 0, vars = 0, locks = 0;
+    if (source.dimensions(threads, vars, locks))
+        checker.reserve(threads, vars, locks);
+
     Event e;
     for (size_t i = 0; source.next(e); ++i) {
         if (limited && (i % budget.check_interval) == 0 &&

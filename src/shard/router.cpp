@@ -1,0 +1,36 @@
+#include "shard/router.hpp"
+
+namespace aero {
+
+uint32_t
+hash_shard_policy(VarId x, uint32_t shards)
+{
+    // Fibonacci hashing: odd multiplier, top bits are well mixed.
+    uint32_t h = x * 2654435761u;
+    return (h >> 16) % shards;
+}
+
+uint32_t
+modulo_shard_policy(VarId x, uint32_t shards)
+{
+    return x % shards;
+}
+
+std::vector<std::vector<ProjectedEvent>>
+project(const Trace& trace, const ShardRouter& router)
+{
+    std::vector<std::vector<ProjectedEvent>> out(router.shards());
+    const auto& events = trace.events();
+    for (uint64_t i = 0; i < events.size(); ++i) {
+        uint32_t dst = router.shard_of(events[i]);
+        if (dst == ShardRouter::kBroadcast) {
+            for (auto& lane : out)
+                lane.push_back({events[i], i});
+        } else {
+            out[dst].push_back({events[i], i});
+        }
+    }
+    return out;
+}
+
+} // namespace aero

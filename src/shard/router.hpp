@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * ShardRouter — projects one event stream into per-shard event streams.
+ *
+ * The projection rule (see src/shard/README.md for the soundness
+ * argument):
+ *
+ *   - read/write events are *partitioned*: variable x belongs to exactly
+ *     one shard, chosen by a pluggable policy (multiplicative hash by
+ *     default), and only that shard sees x's accesses;
+ *   - everything else — begin/end, acquire/release, fork/join — is
+ *     *replicated* to every shard, so each shard observes the complete
+ *     synchronization spine of the trace and lock-induced, fork/join and
+ *     program-order (transaction-boundary) edges survive projection.
+ *
+ * Per-shard order equals trace order restricted to the shard's event set;
+ * each projected event carries its global index so violations report the
+ * position in the original trace.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+
+namespace aero {
+
+/**
+ * Variable placement policy: maps (variable, shard count) to a shard in
+ * [0, shards). Must be pure — the reader thread and any re-projection
+ * (tests, witness reconstruction) have to agree.
+ */
+using ShardPolicy = uint32_t (*)(VarId x, uint32_t shards);
+
+/** Default policy: multiplicative (Fibonacci) hash of the variable id,
+ *  spreading adjacent ids — which generators hand out in creation order
+ *  to hot variables — across shards. */
+uint32_t hash_shard_policy(VarId x, uint32_t shards);
+
+/** Round-robin by raw id (x % shards): predictable placement for tests
+ *  and for workloads whose ids are already uniform. */
+uint32_t modulo_shard_policy(VarId x, uint32_t shards);
+
+/** Routes events to shards; stateless apart from its configuration. */
+class ShardRouter {
+public:
+    /** Destination meaning "every shard" (replicated events). */
+    static constexpr uint32_t kBroadcast = UINT32_MAX;
+
+    explicit ShardRouter(uint32_t shards,
+                         ShardPolicy policy = &hash_shard_policy)
+        : shards_(shards ? shards : 1), policy_(policy)
+    {}
+
+    uint32_t shards() const { return shards_; }
+
+    uint32_t
+    shard_of_var(VarId x) const
+    {
+        return shards_ == 1 ? 0 : policy_(x, shards_);
+    }
+
+    /** Owning shard for `e`, or kBroadcast for replicated events. */
+    uint32_t
+    shard_of(const Event& e) const
+    {
+        if (op_targets_var(e.op))
+            return shard_of_var(e.target);
+        return kBroadcast;
+    }
+
+private:
+    uint32_t shards_;
+    ShardPolicy policy_;
+};
+
+/** One event of a projected stream, tagged with its global index. */
+struct ProjectedEvent {
+    Event event;
+    uint64_t index;
+};
+
+/** Materialize the full projection of `trace` (tests, inline runner). */
+std::vector<std::vector<ProjectedEvent>> project(const Trace& trace,
+                                                 const ShardRouter& router);
+
+} // namespace aero

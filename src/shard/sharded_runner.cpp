@@ -1,0 +1,419 @@
+#include "shard/sharded_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "shard/spsc_queue.hpp"
+#include "support/assert.hpp"
+#include "support/stopwatch.hpp"
+#include "trace/stream.hpp"
+
+namespace aero {
+namespace {
+
+/** One queue slot: an event tagged with its global index, or a control
+ *  marker (merge barrier / end of stream). */
+struct ShardItem {
+    enum Kind : uint8_t { kEvent = 0, kMerge = 1, kEof = 2 };
+
+    Event event{0, 0, Op::kBegin};
+    uint64_t index = 0;
+    uint8_t kind = kEvent;
+};
+
+/** Per-shard state shared by both drivers. */
+struct Lane {
+    std::unique_ptr<AtomicityChecker> engine;
+    std::unique_ptr<SpscQueue<ShardItem>> queue; // threaded driver only
+    std::optional<Violation> violation;          // this lane's first fire
+    uint64_t processed = 0;                      // events fed to the engine
+};
+
+/** Pointwise-max of every lane's per-thread clocks, pushed back to all:
+ *  after a merge each C_t is the best bound any shard has derived. */
+class FrontierMerger {
+public:
+    void
+    merge(std::vector<Lane>& lanes)
+    {
+        if (lanes.size() < 2)
+            return;
+        // Seed with lane 0's export (reset keeps the buffer's capacity)
+        // and join the rest in. After the first merge every engine has
+        // adopted the same thread count, so the exports share dimensions
+        // and join() never takes its reallocating grow path again —
+        // steady-state merges are allocation-free.
+        lanes[0].engine->export_frontier(merged_);
+        for (size_t i = 1; i < lanes.size(); ++i) {
+            lanes[i].engine->export_frontier(scratch_);
+            merged_.join(scratch_);
+        }
+        for (auto& lane : lanes)
+            lane.engine->adopt_frontier(merged_);
+    }
+
+private:
+    ClockFrontier merged_;
+    ClockFrontier scratch_;
+};
+
+/**
+ * Generation barrier for the threaded driver. Workers arrive when they
+ * pop a kMerge marker; the last arriver — while every other active
+ * worker is parked in wait() and every retired worker has left its
+ * engine quiescent behind the same mutex — performs the frontier merge,
+ * then releases the generation. retire() removes a finished worker from
+ * the head count (and completes a merge it was the last straggler of).
+ */
+class MergeBarrier {
+public:
+    MergeBarrier(std::vector<Lane>& lanes, uint64_t& merges)
+        : lanes_(lanes), merges_(merges), active_(lanes.size())
+    {}
+
+    void
+    arrive()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        const uint64_t gen = generation_;
+        if (++arrived_ == active_) {
+            run_merge();
+            lk.unlock();
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lk, [&] { return generation_ != gen; });
+    }
+
+    void
+    retire()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        --active_;
+        if (active_ > 0 && arrived_ == active_) {
+            run_merge();
+            lk.unlock();
+            cv_.notify_all();
+        }
+    }
+
+private:
+    void
+    run_merge() // caller holds mu_
+    {
+        merger_.merge(lanes_);
+        ++merges_;
+        arrived_ = 0;
+        ++generation_;
+    }
+
+    std::vector<Lane>& lanes_;
+    uint64_t& merges_;
+    FrontierMerger merger_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    size_t active_;
+    size_t arrived_ = 0;
+    uint64_t generation_ = 0;
+};
+
+/**
+ * Shard worker: drain the queue, feeding events to the engine until it
+ * fires or the global violation horizon passes them by. A fired lane
+ * keeps draining (and keeps arriving at merge barriers) so the pipeline
+ * never stalls; its engine is simply not fed again.
+ */
+void
+worker_loop(Lane& lane, MergeBarrier& barrier,
+            std::atomic<uint64_t>& stop_at)
+{
+    for (;;) {
+        ShardItem it = lane.queue->pop();
+        if (it.kind == ShardItem::kEof) {
+            barrier.retire();
+            return;
+        }
+        if (it.kind == ShardItem::kMerge) {
+            barrier.arrive();
+            continue;
+        }
+        if (lane.violation)
+            continue;
+        // Events past the earliest known violation can never win the
+        // first-violation join; events at or before it are always fed
+        // (stop_at only ever decreases, and never below the winner).
+        if (it.index > stop_at.load(std::memory_order_relaxed))
+            continue;
+        ++lane.processed;
+        if (lane.engine->process(it.event, it.index)) {
+            lane.violation = lane.engine->violation();
+            uint64_t cur = stop_at.load(std::memory_order_relaxed);
+            while (it.index < cur &&
+                   !stop_at.compare_exchange_weak(
+                       cur, it.index, std::memory_order_relaxed)) {
+            }
+        }
+    }
+}
+
+std::vector<Lane>
+make_lanes(const EngineFactory& factory, uint32_t shards, bool with_queues,
+           size_t queue_capacity)
+{
+    if (shards > ShardOptions::kMaxShards) {
+        fatal("shard count " + std::to_string(shards) +
+              " exceeds the supported maximum of " +
+              std::to_string(ShardOptions::kMaxShards));
+    }
+    std::vector<Lane> lanes(shards);
+    for (auto& lane : lanes) {
+        lane.engine = factory();
+        AERO_ASSERT(lane.engine != nullptr,
+                    "EngineFactory returned a null checker");
+        if (with_queues)
+            lane.queue =
+                std::make_unique<SpscQueue<ShardItem>>(queue_capacity);
+    }
+    // Rejected regardless of merge cadence: even a merge-free sharded run
+    // relies on the frontier contract existing for the mode toggles to be
+    // meaningful, and a frontier-less engine sharded without merges would
+    // silently miss cross-shard cycles.
+    if (shards > 1 && !lanes[0].engine->supports_frontier()) {
+        fatal("engine '" + std::string(lanes[0].engine->name()) +
+              "' does not maintain a per-thread clock frontier; it cannot "
+              "be sharded (run with --shards 1)");
+    }
+    return lanes;
+}
+
+void
+reserve_lanes(std::vector<Lane>& lanes, uint32_t threads, uint32_t vars,
+              uint32_t locks)
+{
+    for (auto& lane : lanes)
+        lane.engine->reserve(threads, vars, locks);
+}
+
+/** First violation wins (ties broken by lowest shard id); counters are
+ *  summed name-wise across shards and kept per shard. */
+void
+join_verdicts(std::vector<Lane>& lanes, ShardRunResult& out,
+              uint64_t events_routed)
+{
+    RunResult& r = out.result;
+    const Lane* winner = nullptr;
+    uint32_t winner_shard = 0;
+    for (uint32_t s = 0; s < lanes.size(); ++s) {
+        const Lane& lane = lanes[s];
+        if (lane.violation &&
+            (!winner || lane.violation->event_index <
+                            winner->violation->event_index)) {
+            winner = &lane;
+            winner_shard = s;
+        }
+    }
+    if (winner) {
+        r.violation = true;
+        r.timed_out = false; // a found violation is a definitive verdict
+        r.details = winner->violation;
+        r.details->shard = winner_shard;
+        r.events_processed = winner->violation->event_index + 1;
+    } else {
+        r.events_processed = events_routed;
+    }
+
+    for (auto& lane : lanes) {
+        out.shard_counters.push_back(lane.engine->counters());
+        out.shard_events.push_back(lane.processed);
+    }
+    for (const StatList& counters : out.shard_counters) {
+        for (const auto& entry : counters) {
+            auto it = std::find_if(r.counters.begin(), r.counters.end(),
+                                   [&entry](const auto& kv) {
+                                       return kv.first == entry.first;
+                                   });
+            if (it == r.counters.end())
+                r.counters.push_back(entry);
+            else
+                it->second += entry.second;
+        }
+    }
+}
+
+} // namespace
+
+ShardRunResult
+run_sharded(const EngineFactory& factory, EventSource& source,
+            const ShardOptions& opts)
+{
+    const uint32_t shards = opts.shards ? opts.shards : 1;
+    ShardRouter router(shards, opts.policy);
+    std::vector<Lane> lanes = make_lanes(factory, shards,
+                                         /*with_queues=*/true,
+                                         opts.queue_capacity);
+
+    uint32_t threads = 0, vars = 0, locks = 0;
+    if (source.dimensions(threads, vars, locks))
+        reserve_lanes(lanes, threads, vars, locks);
+
+    ShardRunResult out;
+    out.shards = shards;
+    MergeBarrier barrier(lanes, out.frontier_merges);
+    std::atomic<uint64_t> stop_at{UINT64_MAX};
+
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (auto& lane : lanes) {
+        workers.emplace_back(worker_loop, std::ref(lane), std::ref(barrier),
+                             std::ref(stop_at));
+    }
+
+    Stopwatch watch;
+    const bool limited = opts.budget.max_seconds > 0;
+    const uint64_t k = (opts.merge_epoch && shards > 1) ? opts.merge_epoch
+                                                        : 0;
+    uint64_t next_merge = k ? k : UINT64_MAX;
+    uint64_t index = 0;
+
+    auto shut_down = [&] {
+        ShardItem eof;
+        eof.kind = ShardItem::kEof;
+        for (auto& lane : lanes)
+            lane.queue->push(eof);
+        for (auto& w : workers)
+            w.join();
+    };
+
+    try {
+        Event e;
+        while (source.next(e)) {
+            if (limited && (index % opts.budget.check_interval) == 0 &&
+                watch.elapsed_seconds() > opts.budget.max_seconds) {
+                out.result.timed_out = true;
+                break;
+            }
+            // Anything past the earliest reported violation cannot affect
+            // the joined verdict; stop decoding.
+            if (index > stop_at.load(std::memory_order_relaxed))
+                break;
+            if (index >= next_merge) {
+                // Markers go to *every* queue before any later event, so
+                // each barrier generation is complete once issued.
+                ShardItem m;
+                m.kind = ShardItem::kMerge;
+                for (auto& lane : lanes)
+                    lane.queue->push(m);
+                next_merge += k;
+            }
+            ShardItem it;
+            it.event = e;
+            it.index = index;
+            it.kind = ShardItem::kEvent;
+            const uint32_t dst = router.shard_of(e);
+            if (dst == ShardRouter::kBroadcast) {
+                for (auto& lane : lanes)
+                    lane.queue->push(it);
+            } else {
+                lanes[dst].queue->push(it);
+            }
+            ++index;
+        }
+    } catch (...) {
+        shut_down(); // corrupt input mid-stream: unwind the pipeline first
+        throw;
+    }
+    shut_down();
+
+    join_verdicts(lanes, out, index);
+    out.result.seconds = watch.elapsed_seconds();
+    return out;
+}
+
+ShardRunResult
+run_sharded(const EngineFactory& factory, const Trace& trace,
+            const ShardOptions& opts)
+{
+    TraceSource source(trace);
+    return run_sharded(factory, source, opts);
+}
+
+ShardRunResult
+run_sharded_inline(const EngineFactory& factory, const Trace& trace,
+                   const ShardOptions& opts)
+{
+    const uint32_t shards = opts.shards ? opts.shards : 1;
+    ShardRouter router(shards, opts.policy);
+    std::vector<Lane> lanes =
+        make_lanes(factory, shards, /*with_queues=*/false, 0);
+    reserve_lanes(lanes, trace.num_threads(), trace.num_vars(),
+                  trace.num_locks());
+
+    ShardRunResult out;
+    out.shards = shards;
+    FrontierMerger merger;
+    uint64_t stop_at = UINT64_MAX;
+    std::vector<std::vector<ProjectedEvent>> pending(shards);
+
+    // Between two merges the lanes share no state, so processing each
+    // lane's pending slice in turn is observably identical to the
+    // threaded driver's arbitrary interleaving.
+    auto flush = [&] {
+        for (uint32_t s = 0; s < shards; ++s) {
+            Lane& lane = lanes[s];
+            for (const ProjectedEvent& pe : pending[s]) {
+                if (lane.violation || pe.index > stop_at)
+                    continue;
+                ++lane.processed;
+                if (lane.engine->process(pe.event, pe.index)) {
+                    lane.violation = lane.engine->violation();
+                    if (pe.index < stop_at)
+                        stop_at = pe.index;
+                }
+            }
+            pending[s].clear();
+        }
+    };
+
+    Stopwatch watch;
+    const bool limited = opts.budget.max_seconds > 0;
+    const uint64_t k = (opts.merge_epoch && shards > 1) ? opts.merge_epoch
+                                                        : 0;
+    uint64_t next_merge = k ? k : UINT64_MAX;
+    const auto& events = trace.events();
+    uint64_t index = 0;
+    for (; index < events.size(); ++index) {
+        if (limited && (index % opts.budget.check_interval) == 0 &&
+            watch.elapsed_seconds() > opts.budget.max_seconds) {
+            out.result.timed_out = true;
+            break;
+        }
+        if (index > stop_at)
+            break;
+        if (index >= next_merge) {
+            flush();
+            merger.merge(lanes);
+            ++out.frontier_merges;
+            next_merge += k;
+        }
+        const Event& e = events[index];
+        const uint32_t dst = router.shard_of(e);
+        if (dst == ShardRouter::kBroadcast) {
+            for (auto& lane : pending)
+                lane.push_back({e, index});
+        } else {
+            pending[dst].push_back({e, index});
+        }
+    }
+    flush();
+
+    join_verdicts(lanes, out, index);
+    out.result.seconds = watch.elapsed_seconds();
+    return out;
+}
+
+} // namespace aero

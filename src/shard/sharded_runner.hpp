@@ -1,0 +1,106 @@
+#pragma once
+
+/**
+ * @file
+ * ShardedRunner — parallel multi-engine checking with a per-shard verdict
+ * join.
+ *
+ * A trace is projected by a ShardRouter into per-shard streams (variables
+ * partitioned, synchronization events replicated), each checked by its
+ * own engine instance built from an EngineFactory. Shard-local clocks are
+ * an *under-approximation* of the single-engine clocks, so any violation
+ * a shard reports is real; the runner periodically merges the per-thread
+ * clock frontiers across shards (every `merge_epoch` events) so
+ * cross-variable communication edges propagate between shards.
+ *
+ * Modes (see src/shard/README.md for the full soundness argument):
+ *   - merge_epoch == 1 ("lockstep"): a frontier merge after every event.
+ *     Provably bit-exact with the single-engine run — same verdict, same
+ *     violating event, same thread. The correctness anchor; the parity
+ *     suite enforces it across the fuzz corpus.
+ *   - merge_epoch == K > 1 ("epoch"): merges every K events. Sound
+ *     (never a false violation) and fast, but a cross-shard cycle whose
+ *     closing edge crosses shards *within* one epoch window while the
+ *     carrier transaction is still open may be detected later than the
+ *     single-engine run, or — if nothing re-touches the affected state —
+ *     missed. First-violation-wins joining keeps the reported verdict
+ *     deterministic regardless of thread scheduling.
+ *   - merge_epoch == 0: no merges; per-shard verdicts are still sound.
+ *
+ * Two drivers share all routing/merge/join logic:
+ *   - run_sharded: reader thread + bounded SPSC queues + worker threads;
+ *   - run_sharded_inline: deterministic single-threaded execution with
+ *     identical semantics (lanes share no state between merges, so the
+ *     interleaving is immaterial) — used by differential tests and as a
+ *     reference for the threaded pipeline.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "shard/router.hpp"
+#include "trace/trace.hpp"
+
+namespace aero {
+
+class EventSource;
+
+/** Builds one engine instance per shard (must be thread-compatible:
+ *  instances are only ever touched by their owning shard worker and, at
+ *  merge barriers, by one thread at a time). */
+using EngineFactory = std::function<std::unique_ptr<AtomicityChecker>()>;
+
+/** Configuration of one sharded run. */
+struct ShardOptions {
+    /** Hard ceiling on `shards` (enforced with a FatalError): a wrapped
+     *  or hostile count must not translate into thousands of threads. */
+    static constexpr uint32_t kMaxShards = 1024;
+
+    /** Number of engine instances / worker threads. */
+    uint32_t shards = 2;
+    /** Frontier-merge period in events: 1 = lockstep (exact), K > 1 =
+     *  epoch mode (sound, detection may lag), 0 = never merge. */
+    uint64_t merge_epoch = 1024;
+    /** Variable placement policy. */
+    ShardPolicy policy = &hash_shard_policy;
+    /** Bounded per-shard queue size (threaded driver only). */
+    size_t queue_capacity = 4096;
+    /** Wall-clock budget, enforced by the reader thread. */
+    RunBudget budget;
+};
+
+/** Outcome of a sharded run: the joined verdict plus per-shard detail. */
+struct ShardRunResult {
+    /** Joined verdict. `result.details->shard` names the winning shard;
+     *  `result.counters` holds the name-wise sums over all shards. */
+    RunResult result;
+    uint32_t shards = 1;
+    /** Frontier merges performed. */
+    uint64_t frontier_merges = 0;
+    /** Per-shard counters() breakdown, indexed by shard. */
+    std::vector<StatList> shard_counters;
+    /** Events each shard actually processed (after projection). */
+    std::vector<uint64_t> shard_events;
+};
+
+/** Threaded driver: stream `source` through `opts.shards` workers. */
+ShardRunResult run_sharded(const EngineFactory& factory, EventSource& source,
+                           const ShardOptions& opts = {});
+
+/** Convenience wrapper over an in-memory trace. */
+ShardRunResult run_sharded(const EngineFactory& factory, const Trace& trace,
+                           const ShardOptions& opts = {});
+
+/**
+ * Deterministic single-threaded driver with semantics identical to
+ * run_sharded (same projection, merge cadence and verdict join; no
+ * queues or threads). The differential suite's workhorse.
+ */
+ShardRunResult run_sharded_inline(const EngineFactory& factory,
+                                  const Trace& trace,
+                                  const ShardOptions& opts = {});
+
+} // namespace aero

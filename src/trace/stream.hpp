@@ -32,6 +32,20 @@ public:
      * @return false at end of stream; throws FatalError on corrupt input.
      */
     virtual bool next(Event& out) = 0;
+
+    /**
+     * Metainfo dimensions of the whole stream, when the source knows them
+     * up front (an in-memory trace, a binary header). Lets the streaming
+     * runner pre-size engine arenas exactly like the materialized path.
+     * @return false when the dimensions are only known at end of stream
+     *         (e.g. the incrementally-interned text format).
+     */
+    virtual bool
+    dimensions(uint32_t& /*threads*/, uint32_t& /*vars*/,
+               uint32_t& /*locks*/) const
+    {
+        return false;
+    }
 };
 
 /** Adapter: stream an in-memory trace. */
@@ -45,6 +59,16 @@ public:
         if (pos_ >= trace_.size())
             return false;
         out = trace_[pos_++];
+        return true;
+    }
+
+    bool
+    dimensions(uint32_t& threads, uint32_t& vars,
+               uint32_t& locks) const override
+    {
+        threads = trace_.num_threads();
+        vars = trace_.num_vars();
+        locks = trace_.num_locks();
         return true;
     }
 
@@ -89,6 +113,16 @@ public:
     uint32_t num_threads() const { return num_threads_; }
     uint32_t num_vars() const { return num_vars_; }
     uint32_t num_locks() const { return num_locks_; }
+
+    bool
+    dimensions(uint32_t& threads, uint32_t& vars,
+               uint32_t& locks) const override
+    {
+        threads = num_threads_;
+        vars = num_vars_;
+        locks = num_locks_;
+        return true;
+    }
 
 private:
     std::istream& is_;

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/counter.hpp"
 #include "trace/event.hpp"
 #include "vc/clock_bank.hpp"
 #include "vc/epoch.hpp"
@@ -49,16 +50,18 @@ namespace aero {
  *  "0"/"off" in the environment (read once). */
 bool epochs_enabled_default();
 
-/** Counters for the evaluation harness and the runner's report. */
+/** Counters for the evaluation harness and the runner's report.
+ *  Single-writer relaxed atomics (support/counter.hpp): safe to read
+ *  from another thread while the owning shard worker keeps counting. */
 struct AdaptiveClockStats {
     /** Operations resolved in O(1): the entry stayed (or was read as) an
      *  epoch, or a pure source reduced the update to one component of an
      *  inflated row. The "fast path carried it" count. */
-    uint64_t epoch_fast = 0;
+    RelaxedCounter epoch_fast;
     /** O(dim) operations on inflated entries (the bank slow path). */
-    uint64_t vector_ops = 0;
+    RelaxedCounter vector_ops;
     /** Entries promoted epoch -> arena row. */
-    uint64_t inflations = 0;
+    RelaxedCounter inflations;
 };
 
 /**

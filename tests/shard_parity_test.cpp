@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Shard-parity differential suite (see src/shard/README.md).
+ *
+ * Lockstep mode (merge_epoch == 1) is provably bit-exact with the
+ * single-engine run, so for every fuzz seed and directed trace, every
+ * AeroDrome engine, shards in {2, 4, 8} (plus AERO_SHARDS when set) and
+ * the epoch-adaptive storage both on and off, the sharded verdict must
+ * match the single-engine verdict *event for event*: same verdict, same
+ * violating event index, same thread.
+ *
+ * Epoch mode (merge_epoch > 1) is sound but its detection may lag a
+ * cross-shard cycle: the suite asserts the soundness direction on the
+ * whole corpus (a serializable baseline stays serializable sharded; a
+ * sharded violation implies a baseline violation at or before it), and
+ * exactness on directed traces constructed so a merge separates the
+ * cross-shard hops.
+ *
+ * Determinism: these runs use the inline driver, whose semantics are
+ * identical to the threaded pipeline (enforced by shard_test); a
+ * threaded lockstep spot check runs on a small subset here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "aerodrome/aerodrome_basic.hpp"
+#include "aerodrome/aerodrome_opt.hpp"
+#include "aerodrome/aerodrome_readopt.hpp"
+#include "aerodrome/aerodrome_tuned.hpp"
+#include "analysis/runner.hpp"
+#include "gen/patterns.hpp"
+#include "gen/random_program.hpp"
+#include "shard/sharded_runner.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/builder.hpp"
+
+namespace aero {
+namespace {
+
+Trace
+fuzz_trace(uint64_t seed, uint32_t threads, uint32_t vars, uint32_t locks,
+           double txnp)
+{
+    gen::RandomProgramOptions opts;
+    opts.seed = seed;
+    opts.threads = threads;
+    opts.shared_vars = vars;
+    opts.locks = locks;
+    opts.txn_probability = txnp;
+    opts.steps_per_thread = 50;
+    sim::Program prog = gen::make_random_program(opts);
+    sim::SchedulerOptions sched;
+    sched.seed = seed * 7919 + 13;
+    sim::SimResult sim = sim::run_program(prog, sched);
+    EXPECT_FALSE(sim.deadlocked);
+    return std::move(sim.trace);
+}
+
+template <typename Engine>
+EngineFactory
+factory(bool epochs)
+{
+    return [epochs] {
+        auto engine = std::make_unique<Engine>(0, 0, 0);
+        engine->set_epochs(epochs);
+        return engine;
+    };
+}
+
+template <typename Engine>
+RunResult
+baseline(const Trace& t, bool epochs)
+{
+    Engine engine(t.num_threads(), t.num_vars(), t.num_locks());
+    engine.set_epochs(epochs);
+    return run_checker(engine, t);
+}
+
+std::vector<uint32_t>
+shard_counts()
+{
+    std::vector<uint32_t> counts = {2, 4, 8};
+    if (const char* env = std::getenv("AERO_SHARDS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n >= 2 && n <= 64 &&
+            std::find(counts.begin(), counts.end(),
+                      static_cast<uint32_t>(n)) == counts.end())
+            counts.push_back(static_cast<uint32_t>(n));
+    }
+    return counts;
+}
+
+/** Lockstep sharded run must equal the single-engine run exactly. */
+template <typename Engine>
+void
+expect_lockstep_exact(const Trace& t, ShardPolicy policy)
+{
+    for (bool epochs : {true, false}) {
+        RunResult expected = baseline<Engine>(t, epochs);
+        for (uint32_t shards : shard_counts()) {
+            ShardOptions opts;
+            opts.shards = shards;
+            opts.merge_epoch = 1;
+            opts.policy = policy;
+            ShardRunResult r =
+                run_sharded_inline(factory<Engine>(epochs), t, opts);
+            SCOPED_TRACE(::testing::Message()
+                         << "engine=" << Engine(0, 0, 0).name()
+                         << " shards=" << shards << " epochs=" << epochs);
+            ASSERT_EQ(r.result.violation, expected.violation);
+            if (expected.violation) {
+                EXPECT_EQ(r.result.details->event_index,
+                          expected.details->event_index);
+                EXPECT_EQ(r.result.details->thread,
+                          expected.details->thread);
+                EXPECT_EQ(r.result.events_processed,
+                          expected.events_processed);
+            }
+        }
+    }
+}
+
+/** Epoch-mode runs must never fabricate a violation, and any violation
+ *  they do report must be at-or-after the single-engine detection. */
+template <typename Engine>
+void
+expect_epoch_mode_sound(const Trace& t, ShardPolicy policy)
+{
+    for (bool epochs : {true, false}) {
+        RunResult expected = baseline<Engine>(t, epochs);
+        for (uint32_t shards : shard_counts()) {
+            for (uint64_t merge_epoch : {uint64_t{4}, uint64_t{64},
+                                         uint64_t{1024}}) {
+                ShardOptions opts;
+                opts.shards = shards;
+                opts.merge_epoch = merge_epoch;
+                opts.policy = policy;
+                ShardRunResult r =
+                    run_sharded_inline(factory<Engine>(epochs), t, opts);
+                SCOPED_TRACE(::testing::Message()
+                             << "engine=" << Engine(0, 0, 0).name()
+                             << " shards=" << shards
+                             << " merge_epoch=" << merge_epoch
+                             << " epochs=" << epochs);
+                if (!expected.violation) {
+                    EXPECT_FALSE(r.result.violation)
+                        << "sharded run fabricated a violation";
+                } else if (r.result.violation) {
+                    EXPECT_GE(r.result.details->event_index,
+                              expected.details->event_index)
+                        << "sharded run fired before the exact engine";
+                }
+            }
+        }
+    }
+}
+
+struct ParityParams {
+    uint64_t seed;
+    uint32_t threads;
+    uint32_t vars;
+    uint32_t locks;
+    double txn_probability;
+};
+
+void
+PrintTo(const ParityParams& p, std::ostream* os)
+{
+    *os << "seed=" << p.seed << " threads=" << p.threads
+        << " vars=" << p.vars << " locks=" << p.locks
+        << " txnp=" << p.txn_probability;
+}
+
+class ShardParity : public ::testing::TestWithParam<ParityParams> {};
+
+TEST_P(ShardParity, LockstepMatchesSingleEngineEventForEvent)
+{
+    const ParityParams& p = GetParam();
+    Trace t = fuzz_trace(p.seed, p.threads, p.vars, p.locks,
+                         p.txn_probability);
+    expect_lockstep_exact<AeroDromeBasic>(t, &hash_shard_policy);
+    expect_lockstep_exact<AeroDromeReadOpt>(t, &hash_shard_policy);
+    expect_lockstep_exact<AeroDromeOpt>(t, &hash_shard_policy);
+    expect_lockstep_exact<AeroDromeTuned>(t, &hash_shard_policy);
+}
+
+TEST_P(ShardParity, EpochModeIsSoundOnTheCorpus)
+{
+    const ParityParams& p = GetParam();
+    Trace t = fuzz_trace(p.seed, p.threads, p.vars, p.locks,
+                         p.txn_probability);
+    expect_epoch_mode_sound<AeroDromeOpt>(t, &hash_shard_policy);
+    expect_epoch_mode_sound<AeroDromeReadOpt>(t, &hash_shard_policy);
+}
+
+std::vector<ParityParams>
+make_params()
+{
+    std::vector<ParityParams> out;
+    uint64_t seed = 9000;
+    for (uint32_t threads : {2u, 4u, 8u}) {
+        for (uint32_t vars : {2u, 6u, 24u}) {
+            for (double txnp : {0.3, 0.8}) {
+                out.push_back({seed++, threads, vars, 1 + threads / 2,
+                               txnp});
+            }
+        }
+    }
+    // A few var-heavy shapes (mostly cross-shard variable traffic).
+    for (uint64_t s = 9100; s < 9110; ++s)
+        out.push_back({s, 4, 16, 1, 0.9});
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzCorpus, ShardParity,
+                         ::testing::ValuesIn(make_params()));
+
+// --- Directed cross-shard-cycle traces --------------------------------------
+//
+// With modulo placement and two shards, x(var 0) lives on shard 0 and
+// y(var 1) on shard 1, so these traces force the violating cycle's edges
+// through both shards and stress the frontier merge.
+
+/** t1: [w(x) ... r(y)] vs t2: [r(x) w(y)] — the closing read of y sees
+ *  t1's own transaction through a chain that crossed shards. */
+Trace
+cross_shard_cycle()
+{
+    TraceBuilder b;
+    b.begin("t1").write("t1", "x");   // 0,1
+    b.begin("t2").read("t2", "x");    // 2,3  edge t1 -> t2 (shard 0)
+    b.write("t2", "y");               // 4    W_y := C_t2   (shard 1)
+    b.read("t1", "y");                // 5    closes the cycle
+    b.end("t1").end("t2");
+    return b.take();
+}
+
+/** Same cycle, but the t1 -> t2 edge is carried by a lock handoff:
+ *  t1 releases l *inside* its open transaction, so the (replicated)
+ *  release publishes t1's in-transaction clock to L_l in every shard
+ *  and t2's acquire picks it up everywhere — no variable, and hence no
+ *  frontier merge, is needed to transport that edge. */
+Trace
+cross_shard_lock_cycle()
+{
+    TraceBuilder b;
+    b.begin("t1").write("t1", "x");
+    b.acquire("t1", "l").release("t1", "l");
+    b.acquire("t2", "l");
+    b.begin("t2").write("t2", "y");
+    b.read("t1", "y");
+    b.end("t1").end("t2");
+    return b.take();
+}
+
+/** Serializable cross-shard ping-pong: ordered handoffs only. */
+Trace
+cross_shard_serializable()
+{
+    TraceBuilder b;
+    for (int round = 0; round < 8; ++round) {
+        b.begin("t1").write("t1", "x").write("t1", "y").end("t1");
+        b.begin("t2").read("t2", "x").read("t2", "y").end("t2");
+    }
+    return b.take();
+}
+
+/** Three-shard cycle: t1 -> t2 via x (shard 0), t2 -> t3 via y (shard
+ *  1), t3 -> t1 via z (shard 2). */
+Trace
+three_shard_cycle()
+{
+    TraceBuilder b;
+    b.begin("t1").write("t1", "x");
+    b.begin("t2").read("t2", "x").write("t2", "y");
+    b.begin("t3").read("t3", "y").write("t3", "z");
+    b.read("t1", "z");
+    b.end("t1").end("t2").end("t3");
+    return b.take();
+}
+
+TEST(ShardParityDirected, CrossShardCyclesAreExactInLockstep)
+{
+    for (const Trace& t : {cross_shard_cycle(), cross_shard_lock_cycle(),
+                           three_shard_cycle(), cross_shard_serializable()}) {
+        expect_lockstep_exact<AeroDromeBasic>(t, &modulo_shard_policy);
+        expect_lockstep_exact<AeroDromeReadOpt>(t, &modulo_shard_policy);
+        expect_lockstep_exact<AeroDromeOpt>(t, &modulo_shard_policy);
+        expect_lockstep_exact<AeroDromeTuned>(t, &modulo_shard_policy);
+    }
+}
+
+TEST(ShardParityDirected, MergeBeforeTheCarrierWriteRestoresExactness)
+{
+    // In cross_shard_cycle() the cross-shard hop is: t2 learns the
+    // t1-ordering at event 3 (shard 0) and publishes W_y at event 4
+    // (shard 1). A merge at global index 4 sits exactly between the two
+    // hops, so merge_epoch == 4 must reproduce the single-engine verdict
+    // index for index; merge_epoch == 2 (boundary at 2 and 4) likewise.
+    Trace t = cross_shard_cycle();
+    RunResult expected = baseline<AeroDromeOpt>(t, true);
+    ASSERT_TRUE(expected.violation);
+    ASSERT_EQ(expected.details->event_index, 5u);
+
+    for (uint64_t merge_epoch : {uint64_t{2}, uint64_t{4}}) {
+        ShardOptions opts;
+        opts.shards = 2;
+        opts.merge_epoch = merge_epoch;
+        opts.policy = &modulo_shard_policy;
+        ShardRunResult r =
+            run_sharded_inline(factory<AeroDromeOpt>(true), t, opts);
+        ASSERT_TRUE(r.result.violation)
+            << "merge_epoch=" << merge_epoch;
+        EXPECT_EQ(r.result.details->event_index,
+                  expected.details->event_index);
+        EXPECT_EQ(r.result.details->thread, expected.details->thread);
+    }
+}
+
+TEST(ShardParityDirected, LockCarriedCycleSurvivesAnyMergeCadence)
+{
+    // The carrier edge travels through replicated lock events, so every
+    // shard sees it without any frontier merge at all: verdict and index
+    // must match the single engine even with merging disabled.
+    Trace t = cross_shard_lock_cycle();
+    RunResult expected = baseline<AeroDromeOpt>(t, true);
+    ASSERT_TRUE(expected.violation);
+
+    for (uint64_t merge_epoch : {uint64_t{0}, uint64_t{16}}) {
+        ShardOptions opts;
+        opts.shards = 2;
+        opts.merge_epoch = merge_epoch;
+        opts.policy = &modulo_shard_policy;
+        ShardRunResult r =
+            run_sharded_inline(factory<AeroDromeOpt>(true), t, opts);
+        ASSERT_TRUE(r.result.violation);
+        EXPECT_EQ(r.result.details->event_index,
+                  expected.details->event_index);
+    }
+}
+
+TEST(ShardParityDirected, ThreadedLockstepSpotCheck)
+{
+    // The inline driver carries the corpus; make sure the real pipeline
+    // (queues, workers, merge barrier) agrees on the directed traces.
+    for (const Trace& t : {cross_shard_cycle(), three_shard_cycle(),
+                           cross_shard_serializable()}) {
+        RunResult expected = baseline<AeroDromeOpt>(t, true);
+        ShardOptions opts;
+        opts.shards = 2;
+        opts.merge_epoch = 1;
+        opts.policy = &modulo_shard_policy;
+        ShardRunResult r = run_sharded(factory<AeroDromeOpt>(true), t,
+                                       opts);
+        ASSERT_EQ(r.result.violation, expected.violation);
+        if (expected.violation) {
+            EXPECT_EQ(r.result.details->event_index,
+                      expected.details->event_index);
+            EXPECT_EQ(r.result.details->thread, expected.details->thread);
+        }
+    }
+}
+
+} // namespace
+} // namespace aero
