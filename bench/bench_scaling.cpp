@@ -16,18 +16,24 @@
  *                  overhead of each analysis.
  *
  * A second mode, --shards, sweeps the sharded runner (src/shard/) over
- * shard counts on the ablation workloads and writes BENCH_shards.json:
- * end-to-end wall time, events/s and speedup vs the plain single-engine
- * runner, per workload x engine x shard count. Scaling beyond 1x needs
- * at least as many cores as shards; the JSON records
- * hardware_concurrency so single-core CI numbers read as what they are.
+ * shard counts x merge policies on the ablation workloads and writes
+ * BENCH_shards.json: end-to-end wall time, events/s and speedup vs the
+ * plain single-engine runner, per workload x engine x shard count, for
+ * lockstep (merge_epoch = 1, a barrier per event) against exact epoch
+ * mode (periodic merges + divergence barriers) — the headline is epoch
+ * mode matching lockstep's verdicts at higher throughput. Each run
+ * records the merge policy and epoch used, the merge counts, and the
+ * suspect-replay counters. Scaling beyond 1x needs at least as many
+ * cores as shards; the JSON records hardware_concurrency so single-core
+ * CI numbers read as what they are.
  *
  * Usage: bench_scaling [--budget SECONDS] [--points N]
  *        bench_scaling --shards [--quick] [--json PATH]
- *                      [--merge-epoch K]
+ *                      [--merge-epoch K|end] [--no-merge-barriers]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,9 +56,24 @@ struct Args {
     int points = 5;
     bool shards_mode = false;
     bool quick = false;
-    uint64_t merge_epoch = 4096;
+    uint64_t merge_epoch = 64;
+    bool merge_barriers = true;
     std::string json_path = "BENCH_shards.json";
 };
+
+/** Human/JSON label of a merge configuration. */
+std::string
+merge_policy_name(uint64_t merge_epoch, bool barriers)
+{
+    if (merge_epoch == 1)
+        return "lockstep";
+    if (merge_epoch == 0)
+        return "none";
+    if (!barriers)
+        return "legacy-epoch";
+    return merge_epoch == ShardOptions::kMergeEndOnly ? "end-only"
+                                                      : "exact-epoch";
+}
 
 void
 run_series(const char* name, const std::vector<Trace>& traces,
@@ -150,21 +171,25 @@ run_shard_sweep(const Args& args)
          [] { return std::make_unique<AeroDromeReadOpt>(0, 0, 0); },
          &run_baseline<AeroDromeReadOpt>});
 
-    std::printf("Sharded-runner sweep (merge epoch %llu, %u hardware "
-                "threads)\n",
+    const std::string policy =
+        merge_policy_name(args.merge_epoch, args.merge_barriers);
+    std::printf("Sharded-runner sweep (merge policy %s, epoch %llu, %u "
+                "hardware threads)\n",
+                policy.c_str(),
                 static_cast<unsigned long long>(args.merge_epoch), cores);
 
     std::string json = "{\n";
     json += "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
     json += "  \"merge_epoch\": " + std::to_string(args.merge_epoch) +
-            ",\n  \"workloads\": [\n";
+            ",\n  \"merge_policy\": \"" + policy +
+            "\",\n  \"workloads\": [\n";
 
     for (size_t w = 0; w < workloads.size(); ++w) {
         const Workload& wl = workloads[w];
         std::printf("\n-- %s (%s events) --\n", wl.name,
                     with_commas(wl.trace.size()).c_str());
-        std::printf("%20s  %8s  %10s  %12s  %8s\n", "engine", "shards",
-                    "time", "events/s", "speedup");
+        std::printf("%20s  %8s  %12s  %10s  %12s  %8s\n", "engine",
+                    "shards", "policy", "time", "events/s", "speedup");
 
         json += "    {\"name\": \"" + std::string(wl.name) +
                 "\", \"events\": " + std::to_string(wl.trace.size()) +
@@ -174,43 +199,67 @@ run_shard_sweep(const Args& args)
         for (const ShardEngine& eng : engines) {
             RunResult base = eng.baseline(wl.trace);
             auto emit = [&](const char* label, uint32_t shards,
-                            double seconds, uint64_t merges) {
+                            const char* run_policy, uint64_t merge_epoch,
+                            double seconds, const ShardRunResult* r) {
                 double evs = seconds > 0
                                  ? static_cast<double>(wl.trace.size()) /
                                        seconds
                                  : 0;
                 double speedup =
                     seconds > 0 ? base.seconds / seconds : 0;
-                std::printf("%20s  %8u  %10s  %12.0f  %7.2fx\n", label,
-                            shards, format_duration(seconds).c_str(), evs,
+                std::printf("%20s  %8u  %12s  %10s  %12.0f  %7.2fx\n",
+                            label, shards, run_policy,
+                            format_duration(seconds).c_str(), evs,
                             speedup);
-                char buf[256];
-                std::snprintf(buf, sizeof(buf),
-                              "      %s{\"engine\": \"%s\", \"shards\": "
-                              "%u, \"seconds\": %.6f, \"events_per_s\": "
-                              "%.0f, \"speedup\": %.3f, \"merges\": %llu}",
-                              first_run ? "" : ",", label, shards, seconds,
-                              evs, static_cast<double>(speedup),
-                              static_cast<unsigned long long>(merges));
+                char buf[384];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "      %s{\"engine\": \"%s\", \"shards\": %u, "
+                    "\"merge_policy\": \"%s\", \"merge_epoch\": %llu, "
+                    "\"seconds\": %.6f, \"events_per_s\": %.0f, "
+                    "\"speedup\": %.3f, \"merges\": %llu, "
+                    "\"barrier_merges\": %llu, \"suspects\": %llu, "
+                    "\"replays\": %llu}",
+                    first_run ? "" : ",", label, shards, run_policy,
+                    static_cast<unsigned long long>(merge_epoch), seconds,
+                    evs, static_cast<double>(speedup),
+                    static_cast<unsigned long long>(
+                        r ? r->frontier_merges : 0),
+                    static_cast<unsigned long long>(
+                        r ? r->barrier_merges : 0),
+                    static_cast<unsigned long long>(r ? r->suspects : 0),
+                    static_cast<unsigned long long>(r ? r->replays : 0));
                 first_run = false;
                 json += buf;
                 json += "\n";
             };
-            emit(eng.name, 1, base.seconds, 0);
+            emit(eng.name, 1, "single", 0, base.seconds, nullptr);
             for (uint32_t shards : {2u, 4u, 8u}) {
-                ShardOptions opts;
-                opts.shards = shards;
-                opts.merge_epoch = args.merge_epoch;
-                ShardRunResult r =
-                    run_sharded(eng.factory, wl.trace, opts);
-                if (r.result.violation != base.violation) {
-                    std::fprintf(stderr,
-                                 "verdict mismatch on %s x%u shards!\n",
-                                 wl.name, shards);
-                    return 1;
+                // Lockstep is the exactness anchor and the throughput
+                // bar the configured epoch mode has to clear.
+                std::vector<uint64_t> cadences = {1};
+                if (args.merge_epoch != 1)
+                    cadences.push_back(args.merge_epoch);
+                for (uint64_t merge_epoch : cadences) {
+                    ShardOptions opts;
+                    opts.shards = shards;
+                    opts.merge_epoch = merge_epoch;
+                    opts.divergence_barriers = args.merge_barriers;
+                    ShardRunResult r =
+                        run_sharded(eng.factory, wl.trace, opts);
+                    if (r.result.violation != base.violation) {
+                        std::fprintf(stderr,
+                                     "verdict mismatch on %s x%u "
+                                     "shards!\n",
+                                     wl.name, shards);
+                        return 1;
+                    }
+                    emit(eng.name, shards,
+                         merge_policy_name(merge_epoch,
+                                           args.merge_barriers)
+                             .c_str(),
+                         merge_epoch, r.result.seconds, &r);
                 }
-                emit(eng.name, shards, r.result.seconds,
-                     r.frontier_merges);
             }
         }
         json += w + 1 < workloads.size() ? "    ]},\n" : "    ]}\n";
@@ -250,8 +299,23 @@ main(int argc, char** argv)
             args.shards_mode = true;
         else if (a == "--quick")
             args.quick = true;
-        else if (a == "--merge-epoch" && i + 1 < argc)
-            args.merge_epoch = std::stoull(argv[++i]);
+        else if (a == "--merge-epoch" && i + 1 < argc) {
+            // Same grammar as aerocheck: "end" or a bounded decimal.
+            const char* v = argv[++i];
+            if (std::string(v) == "end") {
+                args.merge_epoch = ShardOptions::kMergeEndOnly;
+            } else {
+                char* end = nullptr;
+                unsigned long long n = std::strtoull(v, &end, 10);
+                if (v[0] == '\0' || v[0] == '-' || !end || *end != '\0' ||
+                    n > (1ull << 30)) {
+                    std::fprintf(stderr, "bad --merge-epoch '%s'\n", v);
+                    return 2;
+                }
+                args.merge_epoch = n;
+            }
+        } else if (a == "--no-merge-barriers")
+            args.merge_barriers = false;
         else if (a == "--json" && i + 1 < argc)
             args.json_path = argv[++i];
     }

@@ -9,15 +9,22 @@
  *
  * Usage:
  *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
- *             [--shards N] [--merge-epoch K]
+ *             [--shards N] [--merge-epoch K|end] [--no-merge-barriers]
  *             [--validate] [--stats] [--witness]
  *
  *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
  *             aerodrome-basic | velodrome | velodrome-pk
  *   --shards: check with N parallel engine shards (src/shard/README.md);
  *             defaults to the AERO_SHARDS env var, else 1 (single engine)
- *   --merge-epoch: frontier-merge period in events for sharded runs
- *             (default 1024; 1 = lockstep/exact, 0 = never merge)
+ *   --merge-epoch: periodic frontier-merge cadence for sharded runs
+ *             (default: AERO_MERGE_EPOCH env, else 64). Every cadence is
+ *             *exact* — the divergence barriers merge wherever a stale
+ *             clock could otherwise be consulted — so K only bounds
+ *             staleness latency. 1 = lockstep (a barrier per event),
+ *             "end" = divergence barriers only, 0 = never merge (sound
+ *             but detection may lag; implies --no-merge-barriers)
+ *   --no-merge-barriers: legacy periodic-only merging; shard violations
+ *             between merges are confirmed by suspect-window replay
  *   --validate: run the well-formedness validator first (loads the
  *               trace into memory)
  *   --stats: print engine-specific statistics after the run (per shard
@@ -63,11 +70,32 @@ struct Args {
     std::string engine = "aerodrome";
     double budget = 0;
     uint32_t shards = 0; // 0: AERO_SHARDS env, else single engine
-    uint64_t merge_epoch = 1024;
+    /** UINT64_MAX - 1: unset (resolve AERO_MERGE_EPOCH env, else 64). */
+    uint64_t merge_epoch = kMergeEpochUnset;
+    bool merge_barriers = true;
     bool validate_first = false;
     bool stats = false;
     bool witness = false;
+
+    static constexpr uint64_t kMergeEpochUnset = UINT64_MAX - 1;
 };
+
+/** "end" = barriers only; otherwise a bounded decimal. */
+bool
+parse_merge_epoch(const char* s, uint64_t& out)
+{
+    if (std::strcmp(s, "end") == 0) {
+        out = ShardOptions::kMergeEndOnly;
+        return true;
+    }
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (s[0] == '\0' || s[0] == '-' || !end || *end != '\0' ||
+        v > (1ull << 30))
+        return false;
+    out = v;
+    return true;
+}
 
 /** Reconstruct and print one witness cycle over the violating prefix. */
 void
@@ -119,7 +147,8 @@ usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
-                 "[--shards N] [--merge-epoch K] [--validate] [--stats]\n"
+                 "[--shards N] [--merge-epoch K|end] "
+                 "[--no-merge-barriers] [--validate] [--stats]\n"
                  "engines: aerodrome aerodrome-tuned aerodrome-readopt "
                  "aerodrome-basic velodrome velodrome-pk\n",
                  argv0);
@@ -174,9 +203,20 @@ print_shard_stats(const ShardRunResult& r)
                         with_commas(value).c_str());
         }
     }
-    std::printf("  totals over %u shards (%s frontier merges):\n",
-                r.shards, with_commas(r.frontier_merges).c_str());
+    std::printf("  totals over %u shards (%s frontier merges, %s from "
+                "divergence barriers):\n",
+                r.shards, with_commas(r.frontier_merges).c_str(),
+                with_commas(r.barrier_merges).c_str());
     print_counters(r.result.counters);
+    if (r.suspects > 0) {
+        std::printf("  suspect replay: %s suspects, %s replays "
+                    "(%s confirmed, %s refined, %s upheld)\n",
+                    with_commas(r.suspects).c_str(),
+                    with_commas(r.replays).c_str(),
+                    with_commas(r.replay_confirmed).c_str(),
+                    with_commas(r.replay_refined).c_str(),
+                    with_commas(r.replay_upheld).c_str());
+    }
 }
 
 } // namespace
@@ -197,10 +237,10 @@ main(int argc, char** argv)
                 return usage(argv[0]);
             args.shards = static_cast<uint32_t>(v);
         } else if (a == "--merge-epoch" && i + 1 < argc) {
-            unsigned long v = 0;
-            if (!parse_bounded(argv[++i], 0, 1ul << 30, v))
+            if (!parse_merge_epoch(argv[++i], args.merge_epoch))
                 return usage(argv[0]);
-            args.merge_epoch = v;
+        } else if (a == "--no-merge-barriers") {
+            args.merge_barriers = false;
         } else if (a == "--validate") {
             args.validate_first = true;
         } else if (a == "--stats") {
@@ -262,10 +302,25 @@ main(int argc, char** argv)
 
         RunResult r;
         std::optional<ShardRunResult> sharded;
+        uint64_t merge_epoch = args.merge_epoch;
+        if (merge_epoch == Args::kMergeEpochUnset) {
+            merge_epoch = 64; // exact epoch mode: K only bounds staleness
+            if (const char* env = std::getenv("AERO_MERGE_EPOCH")) {
+                if (!parse_merge_epoch(env, merge_epoch))
+                    merge_epoch = 64;
+            }
+        }
+
         if (shards > 1) {
             ShardOptions sopts;
             sopts.shards = shards;
-            sopts.merge_epoch = args.merge_epoch;
+            sopts.merge_epoch = merge_epoch;
+            sopts.divergence_barriers = args.merge_barriers;
+            // The replay buffers one merge window of the stream; without
+            // periodic merges that window is the whole input, which a
+            // constant-memory CLI run must not hold.
+            sopts.confirm_replay = merge_epoch >= 2 &&
+                                   merge_epoch != ShardOptions::kMergeEndOnly;
             sopts.budget = budget;
             sharded = run_sharded(
                 [&args] { return make_engine(args.engine); }, *source,

@@ -50,6 +50,26 @@ AeroDromeBasic::adopt_frontier(const ClockFrontier& in)
 }
 
 void
+AeroDromeBasic::export_seed(EngineSeed& seed) const
+{
+    detail::export_engine_seed(c_, cb_, txns_, seed);
+}
+
+void
+AeroDromeBasic::reseed(const EngineSeed& seed)
+{
+    const uint32_t threads = detail::seed_thread_count(seed);
+    if (threads == 0)
+        return;
+    ensure_thread(threads - 1);
+    const uint32_t dim = detail::seed_dim(seed);
+    if (dim > c_.dim())
+        grow_dim(dim);
+    detail::adopt_engine_seed(c_, c_pure_, cb_, cb_pure_, txns_, seed,
+                              [](ThreadId) {});
+}
+
+void
 AeroDromeBasic::grow_dim(size_t n)
 {
     c_.ensure_dim(n);

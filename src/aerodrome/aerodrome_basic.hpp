@@ -70,6 +70,8 @@ public:
     bool supports_frontier() const override { return true; }
     void export_frontier(ClockFrontier& out) const override;
     void adopt_frontier(const ClockFrontier& in) override;
+    void export_seed(EngineSeed& seed) const override;
+    void reseed(const EngineSeed& seed) override;
 
     const AeroDromeStats& stats() const { return stats_; }
 

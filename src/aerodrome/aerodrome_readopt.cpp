@@ -49,6 +49,27 @@ AeroDromeReadOpt::adopt_frontier(const ClockFrontier& in)
 }
 
 void
+AeroDromeReadOpt::export_seed(EngineSeed& seed) const
+{
+    detail::export_engine_seed(c_, cb_, txns_, seed);
+}
+
+void
+AeroDromeReadOpt::reseed(const EngineSeed& seed)
+{
+    const uint32_t threads = detail::seed_thread_count(seed);
+    if (threads == 0)
+        return;
+    ensure_thread(threads - 1);
+    const uint32_t dim = detail::seed_dim(seed);
+    if (dim > c_.dim())
+        grow_dim(dim);
+    std::vector<uint8_t> no_cb_pure; // this engine keeps no begin purity
+    detail::adopt_engine_seed(c_, c_pure_, cb_, no_cb_pure, txns_, seed,
+                              [](ThreadId) {});
+}
+
+void
 AeroDromeReadOpt::grow_dim(size_t n)
 {
     c_.ensure_dim(n);

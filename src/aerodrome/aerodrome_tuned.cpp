@@ -60,6 +60,34 @@ AeroDromeTuned::adopt_frontier(const ClockFrontier& in)
 }
 
 void
+AeroDromeTuned::export_seed(EngineSeed& seed) const
+{
+    detail::export_engine_seed(c_, cb_, txns_, seed);
+}
+
+void
+AeroDromeTuned::reseed(const EngineSeed& seed)
+{
+    const uint32_t threads = detail::seed_thread_count(seed);
+    if (threads == 0)
+        return;
+    ensure_thread(threads - 1);
+    const uint32_t dim = detail::seed_dim(seed);
+    if (dim > c_.dim())
+        grow_dim(dim);
+    std::vector<uint8_t> no_cb_pure; // this engine keeps no begin purity
+    // Reseeded clocks invalidate the same-epoch skips, exactly like a
+    // frontier adoption.
+    detail::adopt_engine_seed(c_, c_pure_, cb_, no_cb_pure, txns_, seed,
+                              [this](ThreadId t) { bump_clock_version(t); });
+    // Re-opened transactions must appear on the active-thread list.
+    for (ThreadId t = 0; t < threads; ++t) {
+        if (txns_.active(t))
+            add_active(t);
+    }
+}
+
+void
 AeroDromeTuned::grow_dim(size_t n)
 {
     c_.ensure_dim(n);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/checker.hpp"
+#include "analysis/txn_tracker.hpp"
 #include "vc/clock_bank.hpp"
 
 namespace aero::detail {
@@ -65,6 +66,67 @@ adopt_bank_frontier(ClockBank& c, std::vector<uint8_t>& pure,
         if (changed)
             on_changed(t);
     }
+}
+
+/** Thread rows a seed demands: the max across BOTH frontiers and the
+ *  nesting state (a seed may carry begin clocks for threads whose C_t
+ *  rows happen to be narrower). */
+inline uint32_t
+seed_thread_count(const EngineSeed& seed)
+{
+    return std::max({seed.clocks.threads, seed.begin_clocks.threads,
+                     static_cast<uint32_t>(seed.txn_depth.size()),
+                     static_cast<uint32_t>(seed.txn_seq.size())});
+}
+
+/** Clock components a seed demands. */
+inline uint32_t
+seed_dim(const EngineSeed& seed)
+{
+    return std::max(seed.clocks.dim, seed.begin_clocks.dim);
+}
+
+/** Shared body of the engines' export_seed hook: snapshot C_t, C_t^b and
+ *  the transaction nesting state. */
+inline void
+export_engine_seed(const ClockBank& c, const ClockBank& cb,
+                   const TxnTracker& txns, EngineSeed& seed)
+{
+    export_bank_frontier(c, seed.clocks);
+    export_bank_frontier(cb, seed.begin_clocks);
+    txns.snapshot(seed.txn_depth, seed.txn_seq);
+}
+
+/**
+ * Shared body of the engines' reseed hook. The caller must already have
+ * grown its thread state (ensure_thread / grow_dim) to cover the seed;
+ * this joins both frontiers in (clearing purity on foreign growth,
+ * invoking `on_changed(t)` for grown C_t rows) and restores the nesting
+ * state. `cb_pure` may be empty for engines without begin purity bits.
+ */
+template <typename OnChanged>
+inline void
+adopt_engine_seed(ClockBank& c, std::vector<uint8_t>& pure, ClockBank& cb,
+                  std::vector<uint8_t>& cb_pure, TxnTracker& txns,
+                  const EngineSeed& seed, OnChanged on_changed)
+{
+    adopt_bank_frontier(c, pure, seed.clocks, on_changed);
+    const ClockFrontier& in = seed.begin_clocks;
+    for (uint32_t t = 0; t < in.threads; ++t) {
+        ClockRef cbt = cb[t];
+        bool foreign = false;
+        for (uint32_t j = 0; j < in.dim; ++j) {
+            ClockValue v = in.get(t, j);
+            if (v > cbt.get(j)) {
+                cbt.set(j, v);
+                if (j != t)
+                    foreign = true;
+            }
+        }
+        if (foreign && t < cb_pure.size())
+            cb_pure[t] = 0;
+    }
+    txns.restore(seed.txn_depth, seed.txn_seq);
 }
 
 } // namespace aero::detail

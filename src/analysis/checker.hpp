@@ -96,6 +96,44 @@ struct ClockFrontier {
     }
 };
 
+/**
+ * A checkpoint of one engine's *per-thread* analysis context: the clocks
+ * C_t, the begin clocks C_t^b, and the transaction nesting state — the
+ * currency of the sharded runner's suspect-window confirmation replay
+ * (src/shard/). Joining the seeds of every shard yields a sound
+ * under-approximation of the single-engine per-thread context at a merge
+ * barrier; reseeding a fresh engine from it lets the runner sequentially
+ * re-check the event window since that barrier with the transaction
+ * structure (depths, begin counters) intact. Per-variable and per-lock
+ * clocks are deliberately absent: they are partitioned state, and a
+ * missing (bottom) clock only ever makes the replay engine fire *less*,
+ * never more — so a replay verdict is always real.
+ */
+struct EngineSeed {
+    ClockFrontier clocks;       ///< C_t, one row per thread
+    ClockFrontier begin_clocks; ///< C_t^b, one row per thread
+    std::vector<uint32_t> txn_depth; ///< begin/end nesting per thread
+    std::vector<uint64_t> txn_seq;   ///< transaction instance counters
+
+    /** *this := *this |_| o. Clock frontiers join pointwise; the
+     *  transaction state is derived from replicated events and therefore
+     *  identical in every shard, so max is a checked copy. */
+    void
+    join(const EngineSeed& o)
+    {
+        clocks.join(o.clocks);
+        begin_clocks.join(o.begin_clocks);
+        if (o.txn_depth.size() > txn_depth.size())
+            txn_depth.resize(o.txn_depth.size(), 0);
+        for (size_t t = 0; t < o.txn_depth.size(); ++t)
+            txn_depth[t] = std::max(txn_depth[t], o.txn_depth[t]);
+        if (o.txn_seq.size() > txn_seq.size())
+            txn_seq.resize(o.txn_seq.size(), 0);
+        for (size_t t = 0; t < o.txn_seq.size(); ++t)
+            txn_seq[t] = std::max(txn_seq[t], o.txn_seq[t]);
+    }
+};
+
 /** Streaming conflict-serializability checker. */
 class AtomicityChecker {
 public:
@@ -150,6 +188,16 @@ public:
      */
     virtual bool supports_frontier() const { return false; }
 
+    /**
+     * True when the engine's conflict checks may consult another
+     * thread's *live* clock instead of a published snapshot (the lazy
+     * stale-write/stale-reader proxies of Algorithm 3). The sharded
+     * runner's merge planner must then merge out every owned-access
+     * clock growth of a transaction that spans shards (rule E5); eager
+     * engines skip those barriers.
+     */
+    virtual bool uses_live_clock_proxies() const { return false; }
+
     /** Snapshot the per-thread clocks into `out` (resets it first). */
     virtual void
     export_frontier(ClockFrontier& out) const
@@ -160,6 +208,30 @@ public:
     /** C_t := C_t |_| in[t] for every thread, creating threads the
      *  engine has not seen yet. */
     virtual void adopt_frontier(const ClockFrontier& in) { (void)in; }
+
+    /**
+     * Snapshot the per-thread analysis context (C_t, C_t^b, transaction
+     * nesting) into `seed` — the replay-confirmation counterpart of
+     * export_frontier. Engines that support_frontier() implement both.
+     */
+    virtual void
+    export_seed(EngineSeed& seed) const
+    {
+        seed.clocks.reset(0, 0);
+        seed.begin_clocks.reset(0, 0);
+        seed.txn_depth.clear();
+        seed.txn_seq.clear();
+    }
+
+    /**
+     * Restore a (typically joined) per-thread context into a *fresh*
+     * engine: grows thread state, joins the clock and begin-clock
+     * frontiers in, and re-opens transactions at the recorded depths.
+     * Like adopt_frontier, reseeding must invalidate any cached facts
+     * that assumed the clocks were unchanged. Per-variable/per-lock
+     * clocks start at bottom — sound for confirmation replay.
+     */
+    virtual void reseed(const EngineSeed& seed) { (void)seed; }
 
     /** True once a violation has been detected. */
     virtual bool has_violation() const = 0;

@@ -16,6 +16,141 @@ modulo_shard_policy(VarId x, uint32_t shards)
     return x % shards;
 }
 
+MergePlanner::MergePlanner(const ShardRouter& router, uint64_t merge_epoch,
+                           bool barriers, bool lazy_proxies)
+    : router_(router), merge_epoch_(merge_epoch),
+      barriers_(barriers && merge_epoch != 0 && router.shards() > 1),
+      lazy_proxies_(lazy_proxies),
+      next_periodic_(merge_epoch == 0 || merge_epoch == kEndOnly
+                         ? kEndOnly
+                         : merge_epoch)
+{}
+
+MergePlanner::ThreadState&
+MergePlanner::state(ThreadId t)
+{
+    if (t >= threads_.size())
+        threads_.resize(t + 1);
+    return threads_[t];
+}
+
+/** Would processing `e` read or publish a clock that may be stale in
+ *  some shard? (Rules E1-E4; E5 is the `pending_` flag.) */
+bool
+MergePlanner::barrier_due(const Event& e)
+{
+    ThreadState& ts = state(e.tid);
+    switch (e.op) {
+      case Op::kEnd:
+        // E1: the end propagation publishes C_t everywhere and its peer
+        // loop consults every C_u — all clocks must be exact. Inner ends
+        // are no-ops for every engine (TxnTracker).
+        return ts.depth == 1 && diverged_threads_ > 0;
+      case Op::kBegin:
+        // E2: the outermost begin snapshots C_t^b in every shard.
+        return ts.depth == 0 && ts.home != kNoShard;
+      case Op::kRelease:
+      case Op::kFork:
+        // E2: publishes C_t into every shard's L_l / C_child.
+        return ts.home != kNoShard;
+      case Op::kJoin:
+        // E3: consults (and checks against) the target's full clock in
+        // every shard.
+        return state(e.target).home != kNoShard;
+      case Op::kRead:
+      case Op::kWrite:
+        // E4: publishing C_t into a different owner shard than the one
+        // holding t's since-merge gains.
+        return ts.home != kNoShard &&
+               ts.home != router_.shard_of_var(e.target);
+      case Op::kAcquire:
+        // Consults L_l, which is identical and exact in every shard
+        // (releases are replicated and gated by E2), and grows C_t
+        // identically everywhere.
+        return false;
+    }
+    return false;
+}
+
+void
+MergePlanner::apply(const Event& e)
+{
+    ThreadState& ts = state(e.tid);
+    switch (e.op) {
+      case Op::kBegin:
+        ++ts.depth;
+        break;
+      case Op::kEnd:
+        if (ts.depth > 0 && --ts.depth == 0) {
+            // The engines flush and clear all lazy state (stale writes,
+            // stale readers, update sets) at the outermost end.
+            ts.txn_shard = kNoShard;
+            ts.txn_multi = false;
+        }
+        break;
+      case Op::kRead:
+      case Op::kWrite: {
+        const uint32_t s = router_.shard_of_var(e.target);
+        if (ts.home == kNoShard) {
+            ts.home = s;
+            ++diverged_threads_;
+        }
+        if (ts.depth > 0) {
+            if (ts.txn_shard == kNoShard)
+                ts.txn_shard = s;
+            else if (ts.txn_shard != s)
+                ts.txn_multi = true;
+            // E5 (lazy engines only): other shards may consult this
+            // thread's live clock through its lazy stale-access state;
+            // growth in one shard of a multi-shard transaction must be
+            // merged out immediately.
+            if (ts.txn_multi && lazy_proxies_)
+                pending_ = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+MergePlanner::reset_divergence()
+{
+    if (diverged_threads_ > 0) {
+        for (ThreadState& ts : threads_)
+            ts.home = kNoShard;
+        diverged_threads_ = 0;
+    }
+    pending_ = false;
+}
+
+bool
+MergePlanner::merge_before(const Event& e, uint64_t index)
+{
+    if (merge_epoch_ == 0 || router_.shards() < 2)
+        return false; // never merging: no divergence tracking either
+    if (merge_epoch_ == 1) { // lockstep: a merge before every event
+        return index >= 1;
+    }
+    bool merge = false;
+    bool barrier = false;
+    if (barriers_ && (pending_ || barrier_due(e)))
+        merge = barrier = true;
+    if (index >= next_periodic_) {
+        merge = true;
+        next_periodic_ += merge_epoch_;
+    }
+    if (merge) {
+        reset_divergence();
+        if (barrier)
+            ++barrier_merges_;
+    }
+    if (barriers_)
+        apply(e);
+    return merge;
+}
+
 std::vector<std::vector<ProjectedEvent>>
 project(const Trace& trace, const ShardRouter& router)
 {

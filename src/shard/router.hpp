@@ -83,6 +83,101 @@ struct ProjectedEvent {
     uint64_t index;
 };
 
+/**
+ * Decides, deterministically from the event stream alone, the global
+ * indices at which the sharded runner must merge the per-shard clock
+ * frontiers. Two merge sources compose:
+ *
+ *   - a *periodic* merge every `merge_epoch` events (the PR 3 cadence; a
+ *     staleness latency bound), and
+ *   - *divergence barriers* — the merges that make epoch mode (K > 1)
+ *     bit-exact with the single engine (src/shard/README.md has the full
+ *     argument). A thread's clock C_t diverges across shards exactly when
+ *     t performs owned (read/write) events, which only its owner shard
+ *     sees; every clock any engine check consults is re-synchronized just
+ *     before the consult:
+ *
+ *       E1 merge-on-end: before an outermost `end` while any thread has
+ *          owned accesses since the last merge (the end propagation and
+ *          peer loop read every C_u, and publish C_t into all entries);
+ *       E2 publish: before a release/fork by a diverged thread, and
+ *          before an outermost begin by a diverged thread (the begin
+ *          clock C_t^b snapshot must be exact — it seeds every later
+ *          violation check of that transaction);
+ *       E3 consume: before a join(u) while u is diverged (the join
+ *          checks and adopts u's full clock in every shard);
+ *       E4 switch: before a read/write whose owner shard differs from
+ *          the shard the thread's since-merge accesses live in (the
+ *          access publishes C_t into that shard's W/R tables);
+ *       E5 proxy: after a read/write by a thread whose *open
+ *          transaction* spans more than one shard (Algorithms 2/3 defer
+ *          clock updates and let other shards' events consult the
+ *          thread's *live* clock — any growth must be visible in the
+ *          shards holding its lazy state before the next event).
+ *
+ * Lockstep (merge_epoch == 1) merges before every event; merge_epoch ==
+ * 0 disables all merging, barriers included (the legacy sound-only
+ * mode). Both drivers feed the planner every event in trace order, so
+ * threaded and inline runs merge at identical indices.
+ */
+class MergePlanner {
+public:
+    /** merge_epoch semantics: 0 = never, 1 = lockstep, K > 1 = periodic
+     *  every K, kEndOnly = no periodic component (barriers only). */
+    static constexpr uint64_t kEndOnly = UINT64_MAX;
+
+    /** `lazy_proxies`: the engine consults live thread clocks through
+     *  lazy stale-access state (AtomicityChecker::
+     *  uses_live_clock_proxies), requiring rule E5; eager engines skip
+     *  those barriers. */
+    MergePlanner(const ShardRouter& router, uint64_t merge_epoch,
+                 bool barriers, bool lazy_proxies = true);
+
+    /**
+     * Must be called once per event, in trace order, *before* routing
+     * it. @return true iff a frontier merge must run immediately before
+     * `e`; the planner then assumes the caller performed it.
+     */
+    bool merge_before(const Event& e, uint64_t index);
+
+    /** Merges demanded by divergence barriers (E1-E5), as opposed to the
+     *  periodic cadence. */
+    uint64_t barrier_merges() const { return barrier_merges_; }
+
+private:
+    static constexpr uint32_t kNoShard = UINT32_MAX;
+
+    struct ThreadState {
+        /** Owner shard of this thread's reads/writes since the last
+         *  merge; kNoShard when none (clock identical in all shards). */
+        uint32_t home = kNoShard;
+        /** begin/end nesting depth. */
+        uint32_t depth = 0;
+        /** Owner shard of the first access of the current outermost
+         *  transaction (lazy-state location), kNoShard before one. */
+        uint32_t txn_shard = kNoShard;
+        /** The open transaction has accessed >= 2 distinct shards. */
+        bool txn_multi = false;
+    };
+
+    ThreadState& state(ThreadId t);
+    bool barrier_due(const Event& e);
+    void apply(const Event& e);
+    void reset_divergence();
+
+    const ShardRouter& router_;
+    uint64_t merge_epoch_;
+    bool barriers_;
+    bool lazy_proxies_;
+    uint64_t next_periodic_;
+    uint64_t barrier_merges_ = 0;
+    /** Set by E5: a merge is due before the next event. */
+    bool pending_ = false;
+    /** Number of threads with home != kNoShard. */
+    uint32_t diverged_threads_ = 0;
+    std::vector<ThreadState> threads_;
+};
+
 /** Materialize the full projection of `trace` (tests, inline runner). */
 std::vector<std::vector<ProjectedEvent>> project(const Trace& trace,
                                                  const ShardRouter& router);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -32,6 +34,10 @@ struct Lane {
     std::unique_ptr<SpscQueue<ShardItem>> queue; // threaded driver only
     std::optional<Violation> violation;          // this lane's first fire
     uint64_t processed = 0;                      // events fed to the engine
+    /** Highest global index this worker has consumed (UINT64_MAX once the
+     *  lane can never fire again) — the window log's pruning horizon.
+     *  Single-writer; the reader polls it relaxed. */
+    std::atomic<uint64_t> progress{0};
 };
 
 /** Pointwise-max of every lane's per-thread clocks, pushed back to all:
@@ -63,17 +69,154 @@ private:
 };
 
 /**
+ * Joined per-merge engine seeds for the suspect-window confirmation
+ * replay, keyed by merge generation. capture() runs wherever the merge
+ * itself runs (under the threaded barrier's mutex, or inline), so
+ * accesses are serialized; the reader trims old generations through the
+ * atomic watermark and the final lookup happens after the workers have
+ * joined.
+ */
+class SeedLog {
+public:
+    explicit SeedLog(bool enabled) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    void
+    capture(std::vector<Lane>& lanes, uint64_t generation)
+    {
+        if (!enabled_)
+            return;
+        const uint64_t min_needed =
+            min_needed_.load(std::memory_order_relaxed);
+        seeds_.erase(seeds_.begin(), seeds_.lower_bound(min_needed));
+        EngineSeed joined;
+        lanes[0].engine->export_seed(joined);
+        for (size_t i = 1; i < lanes.size(); ++i) {
+            lanes[i].engine->export_seed(scratch_);
+            joined.join(scratch_);
+        }
+        seeds_[generation] = std::move(joined);
+    }
+
+    void
+    set_min_needed(uint64_t generation)
+    {
+        min_needed_.store(generation, std::memory_order_relaxed);
+    }
+
+    /** Lookup after the run has quiesced; null if pruned/absent. */
+    const EngineSeed*
+    find(uint64_t generation) const
+    {
+        auto it = seeds_.find(generation);
+        return it == seeds_.end() ? nullptr : &it->second;
+    }
+
+private:
+    bool enabled_;
+    std::map<uint64_t, EngineSeed> seeds_;
+    EngineSeed scratch_;
+    std::atomic<uint64_t> min_needed_{0};
+};
+
+/** One buffered suspect window: the full (unprojected) event run between
+ *  two merges, plus the generation of the merge that opened it. */
+struct ReplayWindow {
+    static constexpr uint64_t kNoGeneration = UINT64_MAX;
+
+    uint64_t generation = kNoGeneration; // merge that started this window
+    uint64_t start = 0;
+    std::vector<ProjectedEvent> events;
+};
+
+/**
+ * Rolling store of suspect windows (confirmation-replay mode only).
+ * Windows are dropped once every lane's progress has passed them —
+ * no violation can be raised inside them anymore — unless they contain
+ * the current first-violation candidate.
+ */
+class WindowLog {
+public:
+    explicit WindowLog(bool enabled) : enabled_(enabled)
+    {
+        if (enabled_)
+            windows_.emplace_back(); // initial window: fresh engines
+    }
+
+    bool enabled() const { return enabled_; }
+
+    void
+    record(const Event& e, uint64_t index)
+    {
+        if (enabled_)
+            windows_.back().events.push_back({e, index});
+    }
+
+    /** Start the window opened by merge `generation` at `start`. */
+    void
+    rotate(uint64_t generation, uint64_t start)
+    {
+        if (!enabled_)
+            return;
+        ReplayWindow w;
+        w.generation = generation;
+        w.start = start;
+        windows_.push_back(std::move(w));
+    }
+
+    /** Drop windows that end at or before `min_progress`, keeping the
+     *  one containing `suspect_min`; advance the seed watermark. */
+    void
+    prune(uint64_t min_progress, uint64_t suspect_min, SeedLog& seeds)
+    {
+        if (!enabled_)
+            return;
+        while (windows_.size() > 1) {
+            const uint64_t end = windows_[1].start;
+            if (end > min_progress)
+                break;
+            if (windows_.front().start <= suspect_min && suspect_min < end)
+                break;
+            windows_.pop_front();
+        }
+        if (windows_.front().generation != ReplayWindow::kNoGeneration)
+            seeds.set_min_needed(windows_.front().generation);
+    }
+
+    /** Window containing global index `i`, or null if it was pruned. */
+    const ReplayWindow*
+    find(uint64_t i) const
+    {
+        for (size_t w = 0; w < windows_.size(); ++w) {
+            const uint64_t end = w + 1 < windows_.size()
+                                     ? windows_[w + 1].start
+                                     : UINT64_MAX;
+            if (windows_[w].start <= i && i < end)
+                return &windows_[w];
+        }
+        return nullptr;
+    }
+
+private:
+    bool enabled_;
+    std::deque<ReplayWindow> windows_;
+};
+
+/**
  * Generation barrier for the threaded driver. Workers arrive when they
  * pop a kMerge marker; the last arriver — while every other active
  * worker is parked in wait() and every retired worker has left its
- * engine quiescent behind the same mutex — performs the frontier merge,
- * then releases the generation. retire() removes a finished worker from
- * the head count (and completes a merge it was the last straggler of).
+ * engine quiescent behind the same mutex — performs the frontier merge
+ * (and, in replay mode, captures the joined engine seed), then releases
+ * the generation. retire() removes a finished worker from the head count
+ * (and completes a merge it was the last straggler of).
  */
 class MergeBarrier {
 public:
-    MergeBarrier(std::vector<Lane>& lanes, uint64_t& merges)
-        : lanes_(lanes), merges_(merges), active_(lanes.size())
+    MergeBarrier(std::vector<Lane>& lanes, uint64_t& merges, SeedLog& seeds)
+        : lanes_(lanes), merges_(merges), seeds_(seeds),
+          active_(lanes.size())
     {}
 
     void
@@ -107,6 +250,7 @@ private:
     run_merge() // caller holds mu_
     {
         merger_.merge(lanes_);
+        seeds_.capture(lanes_, generation_);
         ++merges_;
         arrived_ = 0;
         ++generation_;
@@ -114,6 +258,7 @@ private:
 
     std::vector<Lane>& lanes_;
     uint64_t& merges_;
+    SeedLog& seeds_;
     FrontierMerger merger_;
     std::mutex mu_;
     std::condition_variable cv_;
@@ -135,6 +280,7 @@ worker_loop(Lane& lane, MergeBarrier& barrier,
     for (;;) {
         ShardItem it = lane.queue->pop();
         if (it.kind == ShardItem::kEof) {
+            lane.progress.store(UINT64_MAX, std::memory_order_relaxed);
             barrier.retire();
             return;
         }
@@ -143,7 +289,8 @@ worker_loop(Lane& lane, MergeBarrier& barrier,
             continue;
         }
         if (lane.violation)
-            continue;
+            continue; // progress stays pinned at UINT64_MAX
+        lane.progress.store(it.index, std::memory_order_relaxed);
         // Events past the earliest known violation can never win the
         // first-violation join; events at or before it are always fed
         // (stop_at only ever decreases, and never below the winner).
@@ -157,6 +304,12 @@ worker_loop(Lane& lane, MergeBarrier& barrier,
                    !stop_at.compare_exchange_weak(
                        cur, it.index, std::memory_order_relaxed)) {
             }
+            // Publish stop_at strictly before the progress sentinel: the
+            // reader prunes replay windows by (progress horizon,
+            // suspect minimum), and must never observe a fired lane's
+            // "cannot fire again" progress without its suspect index —
+            // that would let it drop the window the verdict needs.
+            lane.progress.store(UINT64_MAX, std::memory_order_release);
         }
     }
 }
@@ -199,15 +352,27 @@ reserve_lanes(std::vector<Lane>& lanes, uint32_t threads, uint32_t vars,
         lane.engine->reserve(threads, vars, locks);
 }
 
-/** First violation wins (ties broken by lowest shard id); counters are
- *  summed name-wise across shards and kept per shard. */
-void
-join_verdicts(std::vector<Lane>& lanes, ShardRunResult& out,
-              uint64_t events_routed)
+/** True when this configuration runs the exact divergence barriers. */
+bool
+barriers_active(const ShardOptions& opts, uint32_t shards)
 {
-    RunResult& r = out.result;
+    return opts.divergence_barriers && shards > 1 &&
+           opts.merge_epoch >= 2; // 0 = never merge, 1 = lockstep
+}
+
+/** True when shard violations are suspects needing confirmation replay. */
+bool
+replay_active(const ShardOptions& opts, uint32_t shards)
+{
+    return opts.confirm_replay && shards > 1 && opts.merge_epoch != 1 &&
+           !barriers_active(opts, shards);
+}
+
+/** First violation wins (ties broken by lowest shard id). */
+const Lane*
+pick_winner(const std::vector<Lane>& lanes, uint32_t& winner_shard)
+{
     const Lane* winner = nullptr;
-    uint32_t winner_shard = 0;
     for (uint32_t s = 0; s < lanes.size(); ++s) {
         const Lane& lane = lanes[s];
         if (lane.violation &&
@@ -217,12 +382,80 @@ join_verdicts(std::vector<Lane>& lanes, ShardRunResult& out,
             winner_shard = s;
         }
     }
+    return winner;
+}
+
+/**
+ * Confirmation replay of a suspect: sequentially re-check the buffered
+ * window containing the suspect through a fresh engine reseeded from the
+ * joined per-shard seeds of the merge that opened the window. The replay
+ * engine's clocks under-approximate the single engine's (missing
+ * variable/lock clocks are bottom), so anything it fires is real; a fire
+ * *before* the suspect index refines the verdict toward the exact one,
+ * and a miss upholds the shard's (still sound) violation.
+ */
+void
+confirm_suspect(const EngineFactory& factory, const WindowLog& windows,
+                const SeedLog& seeds, std::optional<Violation>& verdict,
+                uint32_t winner_shard, ShardRunResult& out)
+{
+    ++out.suspects;
+    const uint64_t suspect = verdict->event_index;
+    const ReplayWindow* window = windows.find(suspect);
+    if (!window)
+        return; // pruned (cannot happen; defensively keep the suspect)
+    const EngineSeed* seed = nullptr;
+    if (window->generation != ReplayWindow::kNoGeneration) {
+        seed = seeds.find(window->generation);
+        if (!seed)
+            return; // seed pruned: uphold the suspect
+    }
+
+    ++out.replays;
+    std::unique_ptr<AtomicityChecker> engine = factory();
+    if (seed)
+        engine->reseed(*seed);
+    std::optional<Violation> refired;
+    for (const ProjectedEvent& pe : window->events) {
+        if (pe.index > suspect)
+            break;
+        if (engine->process(pe.event, pe.index)) {
+            refired = engine->violation();
+            break;
+        }
+    }
+    if (!refired) {
+        ++out.replay_upheld;
+        return;
+    }
+    if (refired->event_index >= suspect) {
+        ++out.replay_confirmed;
+        return; // same index: keep the shard's own evidence
+    }
+    ++out.replay_refined;
+    refired->shard = winner_shard;
+    verdict = std::move(refired);
+}
+
+/** Assemble the joined verdict and the counter aggregation. */
+void
+join_verdicts(const EngineFactory& factory, std::vector<Lane>& lanes,
+              const WindowLog& windows, const SeedLog& seeds,
+              ShardRunResult& out, uint64_t events_routed)
+{
+    RunResult& r = out.result;
+    uint32_t winner_shard = 0;
+    const Lane* winner = pick_winner(lanes, winner_shard);
     if (winner) {
+        std::optional<Violation> verdict = winner->violation;
+        verdict->shard = winner_shard;
+        if (windows.enabled())
+            confirm_suspect(factory, windows, seeds, verdict, winner_shard,
+                            out);
         r.violation = true;
         r.timed_out = false; // a found violation is a definitive verdict
-        r.details = winner->violation;
-        r.details->shard = winner_shard;
-        r.events_processed = winner->violation->event_index + 1;
+        r.events_processed = verdict->event_index + 1;
+        r.details = std::move(verdict);
     } else {
         r.events_processed = events_routed;
     }
@@ -245,6 +478,18 @@ join_verdicts(std::vector<Lane>& lanes, ShardRunResult& out,
     }
 }
 
+/** Lowest index any still-fireable lane may yet fire at. Acquire pairs
+ *  with the fired lane's release store, so a UINT64_MAX read here
+ *  guarantees that lane's stop_at update is visible too. */
+uint64_t
+min_progress(const std::vector<Lane>& lanes)
+{
+    uint64_t f = UINT64_MAX;
+    for (const Lane& lane : lanes)
+        f = std::min(f, lane.progress.load(std::memory_order_acquire));
+    return f;
+}
+
 } // namespace
 
 ShardRunResult
@@ -263,7 +508,12 @@ run_sharded(const EngineFactory& factory, EventSource& source,
 
     ShardRunResult out;
     out.shards = shards;
-    MergeBarrier barrier(lanes, out.frontier_merges);
+    SeedLog seeds(replay_active(opts, shards));
+    WindowLog windows(replay_active(opts, shards));
+    MergeBarrier barrier(lanes, out.frontier_merges, seeds);
+    MergePlanner planner(router, shards > 1 ? opts.merge_epoch : 0,
+                         opts.divergence_barriers,
+                         lanes[0].engine->uses_live_clock_proxies());
     std::atomic<uint64_t> stop_at{UINT64_MAX};
 
     std::vector<std::thread> workers;
@@ -275,10 +525,8 @@ run_sharded(const EngineFactory& factory, EventSource& source,
 
     Stopwatch watch;
     const bool limited = opts.budget.max_seconds > 0;
-    const uint64_t k = (opts.merge_epoch && shards > 1) ? opts.merge_epoch
-                                                        : 0;
-    uint64_t next_merge = k ? k : UINT64_MAX;
     uint64_t index = 0;
+    uint64_t merge_generation = 0;
 
     auto shut_down = [&] {
         ShardItem eof;
@@ -301,15 +549,23 @@ run_sharded(const EngineFactory& factory, EventSource& source,
             // the joined verdict; stop decoding.
             if (index > stop_at.load(std::memory_order_relaxed))
                 break;
-            if (index >= next_merge) {
+            if (planner.merge_before(e, index)) {
                 // Markers go to *every* queue before any later event, so
                 // each barrier generation is complete once issued.
                 ShardItem m;
                 m.kind = ShardItem::kMerge;
                 for (auto& lane : lanes)
                     lane.queue->push(m);
-                next_merge += k;
+                windows.rotate(merge_generation++, index);
+                // Horizon first, suspect minimum second: the acquire in
+                // min_progress orders any fired lane's stop_at update
+                // before this load.
+                const uint64_t horizon = min_progress(lanes);
+                windows.prune(horizon,
+                              stop_at.load(std::memory_order_relaxed),
+                              seeds);
             }
+            windows.record(e, index);
             ShardItem it;
             it.event = e;
             it.index = index;
@@ -329,7 +585,8 @@ run_sharded(const EngineFactory& factory, EventSource& source,
     }
     shut_down();
 
-    join_verdicts(lanes, out, index);
+    out.barrier_merges = planner.barrier_merges();
+    join_verdicts(factory, lanes, windows, seeds, out, index);
     out.result.seconds = watch.elapsed_seconds();
     return out;
 }
@@ -355,8 +612,14 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
 
     ShardRunResult out;
     out.shards = shards;
+    SeedLog seeds(replay_active(opts, shards));
+    WindowLog windows(replay_active(opts, shards));
     FrontierMerger merger;
+    MergePlanner planner(router, shards > 1 ? opts.merge_epoch : 0,
+                         opts.divergence_barriers,
+                         lanes[0].engine->uses_live_clock_proxies());
     uint64_t stop_at = UINT64_MAX;
+    uint64_t merge_generation = 0;
     std::vector<std::vector<ProjectedEvent>> pending(shards);
 
     // Between two merges the lanes share no state, so processing each
@@ -381,12 +644,10 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
 
     Stopwatch watch;
     const bool limited = opts.budget.max_seconds > 0;
-    const uint64_t k = (opts.merge_epoch && shards > 1) ? opts.merge_epoch
-                                                        : 0;
-    uint64_t next_merge = k ? k : UINT64_MAX;
     const auto& events = trace.events();
     uint64_t index = 0;
     for (; index < events.size(); ++index) {
+        const Event& e = events[index];
         if (limited && (index % opts.budget.check_interval) == 0 &&
             watch.elapsed_seconds() > opts.budget.max_seconds) {
             out.result.timed_out = true;
@@ -394,13 +655,15 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
         }
         if (index > stop_at)
             break;
-        if (index >= next_merge) {
+        if (planner.merge_before(e, index)) {
             flush();
             merger.merge(lanes);
+            seeds.capture(lanes, merge_generation);
             ++out.frontier_merges;
-            next_merge += k;
+            windows.rotate(merge_generation++, index);
+            windows.prune(index, stop_at, seeds);
         }
-        const Event& e = events[index];
+        windows.record(e, index);
         const uint32_t dst = router.shard_of(e);
         if (dst == ShardRouter::kBroadcast) {
             for (auto& lane : pending)
@@ -411,7 +674,8 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
     }
     flush();
 
-    join_verdicts(lanes, out, index);
+    out.barrier_merges = planner.barrier_merges();
+    join_verdicts(factory, lanes, windows, seeds, out, index);
     out.result.seconds = watch.elapsed_seconds();
     return out;
 }

@@ -13,21 +13,31 @@
  * clock frontiers across shards (every `merge_epoch` events) so
  * cross-variable communication edges propagate between shards.
  *
- * Modes (see src/shard/README.md for the full soundness argument):
- *   - merge_epoch == 1 ("lockstep"): a frontier merge after every event.
+ * Modes (see src/shard/README.md for the full exactness argument):
+ *   - merge_epoch == 1 ("lockstep"): a frontier merge before every event.
  *     Provably bit-exact with the single-engine run — same verdict, same
- *     violating event, same thread. The correctness anchor; the parity
- *     suite enforces it across the fuzz corpus.
- *   - merge_epoch == K > 1 ("epoch"): merges every K events. Sound
- *     (never a false violation) and fast, but a cross-shard cycle whose
- *     closing edge crosses shards *within* one epoch window while the
- *     carrier transaction is still open may be detected later than the
- *     single-engine run, or — if nothing re-touches the affected state —
- *     missed. First-violation-wins joining keeps the reported verdict
- *     deterministic regardless of thread scheduling.
- *   - merge_epoch == 0: no merges; per-shard verdicts are still sound.
+ *     violating event, same thread. The historical correctness anchor.
+ *   - merge_epoch == K > 1 or kMergeEndOnly ("epoch", the default): a
+ *     periodic merge every K events *plus* the MergePlanner's divergence
+ *     barriers — merge-on-end and the publish/consume/switch/proxy rules
+ *     (router.hpp) — which make these cadences bit-exact too: every
+ *     clock an engine check consults is merged to its single-engine
+ *     value just before the consult, while runs of same-shard accesses
+ *     proceed barrier-free. kMergeEndOnly drops the periodic component
+ *     and relies on barriers alone.
+ *   - divergence_barriers == false (legacy PR 3 epoch mode): merges only
+ *     every K events. Sound (never a false violation) but detection may
+ *     lag or miss a cross-shard cycle whose hops share one window. With
+ *     confirm_replay, any violation a shard raises between merges is
+ *     demoted to a *suspect*: the runner buffers the event window since
+ *     the preceding merge, replays it sequentially through a fresh
+ *     confirmation engine reseeded from the joined per-shard seeds
+ *     (EngineSeed), and either refines the verdict to the earlier exact
+ *     index the replay finds or upholds the shard's (still sound) one.
+ *   - merge_epoch == 0: no merges at all; per-shard verdicts are still
+ *     sound, and confirm_replay still applies (one trace-long window).
  *
- * Two drivers share all routing/merge/join logic:
+ * Two drivers share all routing/merge/join/replay logic:
  *   - run_sharded: reader thread + bounded SPSC queues + worker threads;
  *   - run_sharded_inline: deterministic single-threaded execution with
  *     identical semantics (lanes share no state between merges, so the
@@ -59,11 +69,25 @@ struct ShardOptions {
      *  or hostile count must not translate into thousands of threads. */
     static constexpr uint32_t kMaxShards = 1024;
 
+    /** merge_epoch value meaning "divergence barriers only, no periodic
+     *  merges" (MergePlanner::kEndOnly). */
+    static constexpr uint64_t kMergeEndOnly = MergePlanner::kEndOnly;
+
     /** Number of engine instances / worker threads. */
     uint32_t shards = 2;
-    /** Frontier-merge period in events: 1 = lockstep (exact), K > 1 =
-     *  epoch mode (sound, detection may lag), 0 = never merge. */
-    uint64_t merge_epoch = 1024;
+    /** Frontier-merge period in events: 1 = lockstep, K > 1 = epoch mode
+     *  (exact too while divergence_barriers is on), kMergeEndOnly =
+     *  barriers only, 0 = never merge (sound only). */
+    uint64_t merge_epoch = 64;
+    /** Insert the MergePlanner's divergence barriers (merge-on-end and
+     *  friends), making every cadence above except 0 bit-exact. Off
+     *  reproduces the PR 3 sound-but-lagging epoch mode. */
+    bool divergence_barriers = true;
+    /** In non-exact modes (divergence_barriers off, merge_epoch != 1),
+     *  demote between-merge violations to suspects and confirm them by
+     *  sequentially replaying the buffered suspect window through a
+     *  reseeded confirmation engine. */
+    bool confirm_replay = true;
     /** Variable placement policy. */
     ShardPolicy policy = &hash_shard_policy;
     /** Bounded per-shard queue size (threaded driver only). */
@@ -80,6 +104,19 @@ struct ShardRunResult {
     uint32_t shards = 1;
     /** Frontier merges performed. */
     uint64_t frontier_merges = 0;
+    /** Subset of frontier_merges forced by divergence barriers
+     *  (merge-on-end + publish/consume/switch/proxy rules). */
+    uint64_t barrier_merges = 0;
+    /** Shard violations demoted to suspects (non-exact modes only). */
+    uint64_t suspects = 0;
+    /** Confirmation replays executed. */
+    uint64_t replays = 0;
+    /** Replays that re-fired at exactly the suspect's index. */
+    uint64_t replay_confirmed = 0;
+    /** Replays that found an earlier (exact) violation index. */
+    uint64_t replay_refined = 0;
+    /** Replays that did not re-fire; the sound shard verdict was kept. */
+    uint64_t replay_upheld = 0;
     /** Per-shard counters() breakdown, indexed by shard. */
     std::vector<StatList> shard_counters;
     /** Events each shard actually processed (after projection). */

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Golden-verdict regression corpus.
+ *
+ * Locks the exact verdict (serializable / violation, violating index and
+ * thread) of every engine — the four AeroDrome variants with the
+ * epoch-adaptive storage on and off, plus the two Velodrome baselines —
+ * over a deterministic corpus: the fuzz-program seeds the differential
+ * suites use and the adversarial cross-shard families. Any future engine
+ * change that silently shifts a verdict (a check reordered, a gate
+ * loosened, a generator drifting) fails this test loudly with the exact
+ * corpus line that moved.
+ *
+ * The expected file is checked in at tests/golden/verdicts.txt. To
+ * regenerate after an *intentional* verdict change:
+ *
+ *     AERO_REGEN_GOLDEN=1 ./build/golden_verdicts_test
+ *
+ * then review the diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aerodrome/aerodrome_basic.hpp"
+#include "aerodrome/aerodrome_opt.hpp"
+#include "aerodrome/aerodrome_readopt.hpp"
+#include "aerodrome/aerodrome_tuned.hpp"
+#include "analysis/runner.hpp"
+#include "gen/adversarial.hpp"
+#include "gen/random_program.hpp"
+#include "sim/scheduler.hpp"
+#include "velodrome/velodrome.hpp"
+#include "velodrome/velodrome_pk.hpp"
+
+#ifndef AERO_SOURCE_DIR
+#define AERO_SOURCE_DIR "."
+#endif
+
+namespace aero {
+namespace {
+
+struct Workload {
+    std::string name;
+    Trace trace;
+};
+
+Trace
+fuzz_trace(uint64_t seed, uint32_t threads, uint32_t vars, uint32_t locks,
+           double txnp)
+{
+    gen::RandomProgramOptions opts;
+    opts.seed = seed;
+    opts.threads = threads;
+    opts.shared_vars = vars;
+    opts.locks = locks;
+    opts.txn_probability = txnp;
+    opts.steps_per_thread = 50;
+    sim::Program prog = gen::make_random_program(opts);
+    sim::SchedulerOptions sched;
+    sched.seed = seed * 7919 + 13;
+    sim::SimResult sim = sim::run_program(prog, sched);
+    EXPECT_FALSE(sim.deadlocked);
+    return std::move(sim.trace);
+}
+
+/** The corpus: same shapes the differential suites sweep, named so a
+ *  golden mismatch identifies its input immediately. */
+std::vector<Workload>
+make_corpus()
+{
+    std::vector<Workload> out;
+    uint64_t seed = 9000;
+    for (uint32_t threads : {2u, 4u, 8u}) {
+        for (uint32_t vars : {2u, 6u, 24u}) {
+            for (double txnp : {0.3, 0.8}) {
+                char name[64];
+                std::snprintf(name, sizeof(name),
+                              "fuzz(seed=%llu,thr=%u,vars=%u,txnp=%.1f)",
+                              static_cast<unsigned long long>(seed),
+                              threads, vars, txnp);
+                out.push_back({name, fuzz_trace(seed, threads, vars,
+                                                1 + threads / 2, txnp)});
+                ++seed;
+            }
+        }
+    }
+    for (uint64_t s = 9100; s < 9110; ++s) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "fuzz-varheavy(seed=%llu)",
+                      static_cast<unsigned long long>(s));
+        out.push_back({name, fuzz_trace(s, 4, 16, 1, 0.9)});
+    }
+    for (uint32_t hops : {1u, 2u, 3u}) {
+        for (int variant = 0; variant < 4; ++variant) {
+            gen::CrossShardAdversaryOptions o;
+            o.hops = hops;
+            o.open_carriers = (variant != 1);
+            o.close_by_write = (variant == 2);
+            o.serializable = (variant == 3);
+            char name[64];
+            std::snprintf(name, sizeof(name), "adversary(hops=%u,v=%d)",
+                          hops, variant);
+            out.push_back({name, gen::make_cross_shard_adversary(o)});
+        }
+    }
+    return out;
+}
+
+void
+append_line(std::string& golden, const std::string& workload,
+            const char* engine, int epochs, const RunResult& r)
+{
+    char line[160];
+    if (r.violation) {
+        std::snprintf(line, sizeof(line),
+                      "%s %s epochs=%d verdict=x index=%zu thread=%u\n",
+                      workload.c_str(), engine, epochs,
+                      r.details->event_index, r.details->thread);
+    } else {
+        std::snprintf(line, sizeof(line),
+                      "%s %s epochs=%d verdict=ok events=%llu\n",
+                      workload.c_str(), engine, epochs,
+                      static_cast<unsigned long long>(r.events_processed));
+    }
+    golden += line;
+}
+
+template <typename Engine>
+void
+run_engine(std::string& golden, const Workload& w, const char* name,
+           bool epochs)
+{
+    Engine engine(w.trace.num_threads(), w.trace.num_vars(),
+                  w.trace.num_locks());
+    engine.set_epochs(epochs);
+    RunResult r = run_checker(engine, w.trace);
+    append_line(golden, w.name, name, epochs ? 1 : 0, r);
+}
+
+std::string
+generate_golden()
+{
+    std::string golden;
+    golden += "# engine x corpus verdict fixture; regenerate with "
+              "AERO_REGEN_GOLDEN=1 ./golden_verdicts_test\n";
+    for (const Workload& w : make_corpus()) {
+        for (bool epochs : {true, false}) {
+            run_engine<AeroDromeBasic>(golden, w, "aerodrome-basic",
+                                       epochs);
+            run_engine<AeroDromeReadOpt>(golden, w, "aerodrome-readopt",
+                                         epochs);
+            run_engine<AeroDromeOpt>(golden, w, "aerodrome", epochs);
+            run_engine<AeroDromeTuned>(golden, w, "aerodrome-tuned",
+                                       epochs);
+        }
+        {
+            Velodrome velo(w.trace.num_threads(), w.trace.num_vars(),
+                           w.trace.num_locks());
+            append_line(golden, w.name, "velodrome", 0,
+                        run_checker(velo, w.trace));
+            VelodromePK pk(w.trace.num_threads(), w.trace.num_vars(),
+                           w.trace.num_locks());
+            append_line(golden, w.name, "velodrome-pk", 0,
+                        run_checker(pk, w.trace));
+        }
+    }
+    return golden;
+}
+
+TEST(GoldenVerdicts, CorpusVerdictsMatchTheCheckedInFixture)
+{
+    const std::string path =
+        std::string(AERO_SOURCE_DIR) + "/tests/golden/verdicts.txt";
+    const std::string golden = generate_golden();
+
+    if (std::getenv("AERO_REGEN_GOLDEN")) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << golden;
+        GTEST_SKIP() << "regenerated " << path << " — review the diff";
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing fixture " << path
+        << " (regenerate with AERO_REGEN_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+
+    if (expected == golden) {
+        SUCCEED();
+        return;
+    }
+    // Report the first diverging line, not a wall of text.
+    std::istringstream a(expected), b(golden);
+    std::string la, lb;
+    size_t line = 0;
+    while (true) {
+        const bool ga = static_cast<bool>(std::getline(a, la));
+        const bool gb = static_cast<bool>(std::getline(b, lb));
+        ++line;
+        if (!ga && !gb)
+            break;
+        ASSERT_TRUE(ga && gb) << "fixture length changed at line " << line;
+        ASSERT_EQ(la, lb) << "verdict drifted at line " << line;
+    }
+    FAIL() << "fixture mismatch"; // unreachable: loop asserts first
+}
+
+} // namespace
+} // namespace aero

@@ -2,23 +2,27 @@
  * @file
  * Shard-parity differential suite (see src/shard/README.md).
  *
- * Lockstep mode (merge_epoch == 1) is provably bit-exact with the
- * single-engine run, so for every fuzz seed and directed trace, every
- * AeroDrome engine, shards in {2, 4, 8} (plus AERO_SHARDS when set) and
- * the epoch-adaptive storage both on and off, the sharded verdict must
- * match the single-engine verdict *event for event*: same verdict, same
- * violating event index, same thread.
+ * Exact modes — lockstep (merge_epoch == 1) and, since the divergence
+ * barriers landed, every epoch cadence (merge_epoch in {4, 64,
+ * end-only}) — are bit-exact with the single-engine run: for every fuzz
+ * seed, directed trace and adversarial cross-shard family, every
+ * AeroDrome engine, shards in {2, 4, 8} (plus AERO_SHARDS when set),
+ * merge epochs plus AERO_MERGE_EPOCH when set, and the epoch-adaptive
+ * storage both on and off, the sharded verdict must match the
+ * single-engine verdict *event for event*: same verdict, same violating
+ * event index, same thread.
  *
- * Epoch mode (merge_epoch > 1) is sound but its detection may lag a
- * cross-shard cycle: the suite asserts the soundness direction on the
- * whole corpus (a serializable baseline stays serializable sharded; a
- * sharded violation implies a baseline violation at or before it), and
- * exactness on directed traces constructed so a merge separates the
- * cross-shard hops.
+ * The legacy periodic-only mode (divergence_barriers off) is sound but
+ * its detection may lag a cross-shard cycle: the suite asserts the
+ * soundness direction on the whole corpus (a serializable baseline
+ * stays serializable sharded; a sharded violation implies a baseline
+ * violation at or before it), including the adversarial families built
+ * to defeat it, and that the suspect-window confirmation replay only
+ * ever moves a verdict *toward* the exact one.
  *
  * Determinism: these runs use the inline driver, whose semantics are
  * identical to the threaded pipeline (enforced by shard_test); a
- * threaded lockstep spot check runs on a small subset here.
+ * threaded spot check runs on a small subset here.
  */
 
 #include <gtest/gtest.h>
@@ -32,6 +36,7 @@
 #include "aerodrome/aerodrome_readopt.hpp"
 #include "aerodrome/aerodrome_tuned.hpp"
 #include "analysis/runner.hpp"
+#include "gen/adversarial.hpp"
 #include "gen/patterns.hpp"
 #include "gen/random_program.hpp"
 #include "shard/sharded_runner.hpp"
@@ -94,6 +99,65 @@ shard_counts()
     return counts;
 }
 
+/** The exact epoch cadences under test: the checked defaults plus the
+ *  AERO_MERGE_EPOCH CI sweep value, plus barrier-only mode. */
+std::vector<uint64_t>
+exact_merge_epochs()
+{
+    std::vector<uint64_t> epochs = {4, 64, ShardOptions::kMergeEndOnly};
+    if (const char* env = std::getenv("AERO_MERGE_EPOCH")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n >= 2 &&
+            std::find(epochs.begin(), epochs.end(),
+                      static_cast<uint64_t>(n)) == epochs.end())
+            epochs.push_back(static_cast<uint64_t>(n));
+    }
+    return epochs;
+}
+
+/** Any sharded configuration must reproduce the single-engine verdict
+ *  event for event. */
+template <typename Engine>
+void
+expect_exact(const Trace& t, ShardPolicy policy, uint64_t merge_epoch,
+             bool epochs, const RunResult& expected)
+{
+    for (uint32_t shards : shard_counts()) {
+        ShardOptions opts;
+        opts.shards = shards;
+        opts.merge_epoch = merge_epoch;
+        opts.policy = policy;
+        ShardRunResult r = run_sharded_inline(factory<Engine>(epochs), t,
+                                              opts);
+        SCOPED_TRACE(::testing::Message()
+                     << "engine=" << Engine(0, 0, 0).name()
+                     << " shards=" << shards
+                     << " merge_epoch=" << merge_epoch
+                     << " epochs=" << epochs);
+        ASSERT_EQ(r.result.violation, expected.violation);
+        EXPECT_EQ(r.suspects, 0u) << "exact mode demoted a verdict";
+        if (expected.violation) {
+            EXPECT_EQ(r.result.details->event_index,
+                      expected.details->event_index);
+            EXPECT_EQ(r.result.details->thread, expected.details->thread);
+            EXPECT_EQ(r.result.events_processed,
+                      expected.events_processed);
+        }
+    }
+}
+
+/** Exactness of every epoch cadence (divergence barriers on). */
+template <typename Engine>
+void
+expect_epoch_mode_exact(const Trace& t, ShardPolicy policy)
+{
+    for (bool epochs : {true, false}) {
+        RunResult expected = baseline<Engine>(t, epochs);
+        for (uint64_t merge_epoch : exact_merge_epochs())
+            expect_exact<Engine>(t, policy, merge_epoch, epochs, expected);
+    }
+}
+
 /** Lockstep sharded run must equal the single-engine run exactly. */
 template <typename Engine>
 void
@@ -124,11 +188,16 @@ expect_lockstep_exact(const Trace& t, ShardPolicy policy)
     }
 }
 
-/** Epoch-mode runs must never fabricate a violation, and any violation
- *  they do report must be at-or-after the single-engine detection. */
+/**
+ * The legacy periodic-only mode (divergence barriers off) must never
+ * fabricate a violation, and any violation it reports — whether the raw
+ * shard suspect or its replay-confirmed refinement — must be at-or-after
+ * the single-engine detection. Run with and without the confirmation
+ * replay; the replay may only move a verdict toward the exact one.
+ */
 template <typename Engine>
 void
-expect_epoch_mode_sound(const Trace& t, ShardPolicy policy)
+expect_legacy_epoch_mode_sound(const Trace& t, ShardPolicy policy)
 {
     for (bool epochs : {true, false}) {
         RunResult expected = baseline<Engine>(t, epochs);
@@ -139,20 +208,40 @@ expect_epoch_mode_sound(const Trace& t, ShardPolicy policy)
                 opts.shards = shards;
                 opts.merge_epoch = merge_epoch;
                 opts.policy = policy;
-                ShardRunResult r =
+                opts.divergence_barriers = false;
+                opts.confirm_replay = false;
+                ShardRunResult raw =
+                    run_sharded_inline(factory<Engine>(epochs), t, opts);
+                opts.confirm_replay = true;
+                ShardRunResult confirmed =
                     run_sharded_inline(factory<Engine>(epochs), t, opts);
                 SCOPED_TRACE(::testing::Message()
                              << "engine=" << Engine(0, 0, 0).name()
                              << " shards=" << shards
                              << " merge_epoch=" << merge_epoch
                              << " epochs=" << epochs);
-                if (!expected.violation) {
-                    EXPECT_FALSE(r.result.violation)
-                        << "sharded run fabricated a violation";
-                } else if (r.result.violation) {
-                    EXPECT_GE(r.result.details->event_index,
-                              expected.details->event_index)
-                        << "sharded run fired before the exact engine";
+                for (const ShardRunResult* r : {&raw, &confirmed}) {
+                    if (!expected.violation) {
+                        EXPECT_FALSE(r->result.violation)
+                            << "sharded run fabricated a violation";
+                    } else if (r->result.violation) {
+                        EXPECT_GE(r->result.details->event_index,
+                                  expected.details->event_index)
+                            << "sharded run fired before the exact engine";
+                    }
+                }
+                if (confirmed.result.violation) {
+                    ASSERT_TRUE(raw.result.violation);
+                    EXPECT_EQ(confirmed.suspects, 1u);
+                    EXPECT_EQ(confirmed.replay_confirmed +
+                                  confirmed.replay_refined +
+                                  confirmed.replay_upheld,
+                              confirmed.replays);
+                    // The replay only ever refines toward the baseline.
+                    EXPECT_LE(confirmed.result.details->event_index,
+                              raw.result.details->event_index);
+                    EXPECT_GE(confirmed.result.details->event_index,
+                              expected.details->event_index);
                 }
             }
         }
@@ -188,13 +277,25 @@ TEST_P(ShardParity, LockstepMatchesSingleEngineEventForEvent)
     expect_lockstep_exact<AeroDromeTuned>(t, &hash_shard_policy);
 }
 
-TEST_P(ShardParity, EpochModeIsSoundOnTheCorpus)
+TEST_P(ShardParity, EpochModeMatchesSingleEngineEventForEvent)
 {
     const ParityParams& p = GetParam();
     Trace t = fuzz_trace(p.seed, p.threads, p.vars, p.locks,
                          p.txn_probability);
-    expect_epoch_mode_sound<AeroDromeOpt>(t, &hash_shard_policy);
-    expect_epoch_mode_sound<AeroDromeReadOpt>(t, &hash_shard_policy);
+    expect_epoch_mode_exact<AeroDromeBasic>(t, &hash_shard_policy);
+    expect_epoch_mode_exact<AeroDromeReadOpt>(t, &hash_shard_policy);
+    expect_epoch_mode_exact<AeroDromeOpt>(t, &hash_shard_policy);
+    expect_epoch_mode_exact<AeroDromeTuned>(t, &hash_shard_policy);
+}
+
+TEST_P(ShardParity, LegacyEpochModeIsSoundOnTheCorpus)
+{
+    const ParityParams& p = GetParam();
+    Trace t = fuzz_trace(p.seed, p.threads, p.vars, p.locks,
+                         p.txn_probability);
+    expect_legacy_epoch_mode_sound<AeroDromeOpt>(t, &hash_shard_policy);
+    expect_legacy_epoch_mode_sound<AeroDromeReadOpt>(t,
+                                                     &hash_shard_policy);
 }
 
 std::vector<ParityParams>
@@ -340,6 +441,153 @@ TEST(ShardParityDirected, LockCarriedCycleSurvivesAnyMergeCadence)
         ASSERT_TRUE(r.result.violation);
         EXPECT_EQ(r.result.details->event_index,
                   expected.details->event_index);
+    }
+}
+
+// --- Adversarial cross-shard families (gen/adversarial.hpp) -----------------
+//
+// Parameterized traces built to defeat naive epoch merging: transitive
+// chains hopping between shard-owned variables inside one merge window
+// while the carrier transactions are still open. Exact epoch mode must
+// reproduce the single-engine verdict on every one of them; the legacy
+// periodic-only mode must stay sound (these are exactly its blind spots).
+
+std::vector<gen::CrossShardAdversaryOptions>
+adversarial_corpus()
+{
+    std::vector<gen::CrossShardAdversaryOptions> out;
+    for (uint32_t hops : {1u, 2u, 3u, 7u}) {
+        for (uint32_t offset : {0u, 1u, 2u, 3u, 5u}) {
+            for (bool open_carriers : {true, false}) {
+                gen::CrossShardAdversaryOptions o;
+                o.hops = hops;
+                o.offset = offset;
+                o.open_carriers = open_carriers;
+                out.push_back(o);
+                o.close_by_write = true;
+                out.push_back(o);
+            }
+        }
+    }
+    // Targeted variants on the core open-carrier shape.
+    for (uint32_t hops : {2u, 3u}) {
+        gen::CrossShardAdversaryOptions o;
+        o.hops = hops;
+        o.retouch = true; // late detection point for lagging modes
+        out.push_back(o);
+        o.retouch = false;
+        o.lock_carrier = true; // replicated carrier: no merge needed
+        out.push_back(o);
+        o.lock_carrier = false;
+        o.same_shard = true; // control: single-shard chain
+        out.push_back(o);
+        o.same_shard = false;
+        o.serializable = true; // control: no cycle anywhere
+        out.push_back(o);
+    }
+    return out;
+}
+
+TEST(ShardParityAdversarial, ExactEpochModeMatchesSingleEngine)
+{
+    for (const auto& params : adversarial_corpus()) {
+        Trace t = gen::make_cross_shard_adversary(params);
+        SCOPED_TRACE(::testing::Message()
+                     << "hops=" << params.hops << " offset=" << params.offset
+                     << " open=" << params.open_carriers
+                     << " write=" << params.close_by_write
+                     << " lock=" << params.lock_carrier
+                     << " retouch=" << params.retouch
+                     << " same_shard=" << params.same_shard
+                     << " serializable=" << params.serializable);
+        expect_epoch_mode_exact<AeroDromeBasic>(t, &modulo_shard_policy);
+        expect_epoch_mode_exact<AeroDromeReadOpt>(t, &modulo_shard_policy);
+        expect_epoch_mode_exact<AeroDromeOpt>(t, &modulo_shard_policy);
+        expect_epoch_mode_exact<AeroDromeTuned>(t, &modulo_shard_policy);
+        // Lockstep agrees too, and the two exact modes agree with each
+        // other by transitivity.
+        expect_lockstep_exact<AeroDromeOpt>(t, &modulo_shard_policy);
+    }
+}
+
+TEST(ShardParityAdversarial, LegacyEpochModeStaysSoundOnItsBlindSpots)
+{
+    for (const auto& params : adversarial_corpus()) {
+        Trace t = gen::make_cross_shard_adversary(params);
+        SCOPED_TRACE(::testing::Message()
+                     << "hops=" << params.hops << " offset=" << params.offset
+                     << " open=" << params.open_carriers);
+        expect_legacy_epoch_mode_sound<AeroDromeOpt>(t,
+                                                     &modulo_shard_policy);
+        expect_legacy_epoch_mode_sound<AeroDromeTuned>(
+            t, &modulo_shard_policy);
+    }
+}
+
+TEST(ShardParityAdversarial, OpenCarrierChainDefeatsPeriodicOnlyMerging)
+{
+    // Document the gap the divergence barriers close: with open carriers
+    // and one merge window covering the whole chain, the periodic-only
+    // mode misses the violation outright, while exact epoch mode nails
+    // the single-engine index. (This is the regression guard for the
+    // motivation of the barriers — if periodic-only merging ever became
+    // exact here, the barriers would be dead weight.)
+    gen::CrossShardAdversaryOptions params;
+    params.hops = 2;
+    params.open_carriers = true;
+    Trace t = gen::make_cross_shard_adversary(params);
+    RunResult expected = baseline<AeroDromeOpt>(t, true);
+    ASSERT_TRUE(expected.violation);
+
+    ShardOptions opts;
+    opts.shards = 2;
+    opts.merge_epoch = 1024; // one window spans the entire trace
+    opts.policy = &modulo_shard_policy;
+    opts.divergence_barriers = false;
+    ShardRunResult lagging =
+        run_sharded_inline(factory<AeroDromeOpt>(true), t, opts);
+    EXPECT_FALSE(lagging.result.violation)
+        << "periodic-only merging unexpectedly caught the chain";
+
+    opts.divergence_barriers = true;
+    ShardRunResult exact =
+        run_sharded_inline(factory<AeroDromeOpt>(true), t, opts);
+    ASSERT_TRUE(exact.result.violation);
+    EXPECT_EQ(exact.result.details->event_index,
+              expected.details->event_index);
+    EXPECT_EQ(exact.result.details->thread, expected.details->thread);
+    EXPECT_GT(exact.barrier_merges, 0u);
+}
+
+TEST(ShardParityAdversarial, ThreadedExactEpochSpotCheck)
+{
+    // The inline driver carries the adversarial corpus; make sure the
+    // real pipeline (queues, workers, barrier, planner) agrees on the
+    // core shapes at several cadences.
+    for (uint32_t hops : {2u, 3u}) {
+        gen::CrossShardAdversaryOptions params;
+        params.hops = hops;
+        Trace t = gen::make_cross_shard_adversary(params);
+        RunResult expected = baseline<AeroDromeTuned>(t, true);
+        for (uint64_t merge_epoch :
+             {uint64_t{4}, uint64_t{64}, ShardOptions::kMergeEndOnly}) {
+            ShardOptions opts;
+            opts.shards = 2;
+            opts.merge_epoch = merge_epoch;
+            opts.policy = &modulo_shard_policy;
+            ShardRunResult r =
+                run_sharded(factory<AeroDromeTuned>(true), t, opts);
+            SCOPED_TRACE(::testing::Message()
+                         << "hops=" << hops
+                         << " merge_epoch=" << merge_epoch);
+            ASSERT_EQ(r.result.violation, expected.violation);
+            if (expected.violation) {
+                EXPECT_EQ(r.result.details->event_index,
+                          expected.details->event_index);
+                EXPECT_EQ(r.result.details->thread,
+                          expected.details->thread);
+            }
+        }
     }
 }
 
