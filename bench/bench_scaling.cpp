@@ -27,9 +27,17 @@
  * cores as shards; the JSON records hardware_concurrency so single-core
  * CI numbers read as what they are.
  *
+ * A third mode, --updsets, is the update-set smoke gate: it measures the
+ * basic/readopt end-event path (update sets on vs the AERO_UPDATE_SETS=0
+ * full sweep) on the var-heavy workloads and *fails* if readopt's
+ * throughput falls below a floor derived from the pre-update-set
+ * BENCH_shards.json baselines — the CI tripwire for the quadratic end
+ * sweep sneaking back in.
+ *
  * Usage: bench_scaling [--budget SECONDS] [--points N]
  *        bench_scaling --shards [--quick] [--json PATH]
  *                      [--merge-epoch K|end] [--no-merge-barriers]
+ *        bench_scaling --updsets [--quick]
  */
 
 #include <cstdio>
@@ -38,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "aerodrome/aerodrome_basic.hpp"
 #include "aerodrome/aerodrome_opt.hpp"
 #include "aerodrome/aerodrome_readopt.hpp"
 #include "analysis/runner.hpp"
@@ -55,6 +64,7 @@ struct Args {
     double budget = 10.0;
     int points = 5;
     bool shards_mode = false;
+    bool updsets_mode = false;
     bool quick = false;
     uint64_t merge_epoch = 64;
     bool merge_barriers = true;
@@ -126,6 +136,10 @@ struct ShardEngine {
     const char* name;
     EngineFactory factory;
     RunResult (*baseline)(const Trace&);
+    /** Single-engine run with end-event update sets disabled (the
+     *  AERO_UPDATE_SETS=0 full-sweep ablation); null for engines whose
+     *  update sets are structural (opt/tuned). */
+    RunResult (*nosets)(const Trace&) = nullptr;
 };
 
 template <typename Engine>
@@ -133,6 +147,27 @@ RunResult
 run_baseline(const Trace& t)
 {
     Engine engine(t.num_threads(), t.num_vars(), t.num_locks());
+    return run_checker(engine, t);
+}
+
+template <typename Engine>
+RunResult
+run_baseline_nosets(const Trace& t)
+{
+    Engine engine(t.num_threads(), t.num_vars(), t.num_locks());
+    engine.set_update_sets(false);
+    return run_checker(engine, t);
+}
+
+/** Force update sets ON regardless of the AERO_UPDATE_SETS env — the
+ *  --updsets gate measures the mechanism, so the ablation env must not
+ *  be able to trip its floor. */
+template <typename Engine>
+RunResult
+run_baseline_sets(const Trace& t)
+{
+    Engine engine(t.num_threads(), t.num_vars(), t.num_locks());
+    engine.set_update_sets(true);
     return run_checker(engine, t);
 }
 
@@ -165,11 +200,17 @@ run_shard_sweep(const Args& args)
     std::vector<ShardEngine> engines;
     engines.push_back({"aerodrome",
                        [] { return std::make_unique<AeroDromeOpt>(0, 0, 0); },
-                       &run_baseline<AeroDromeOpt>});
+                       &run_baseline<AeroDromeOpt>, nullptr});
     engines.push_back(
         {"aerodrome-readopt",
          [] { return std::make_unique<AeroDromeReadOpt>(0, 0, 0); },
-         &run_baseline<AeroDromeReadOpt>});
+         &run_baseline<AeroDromeReadOpt>,
+         &run_baseline_nosets<AeroDromeReadOpt>});
+    engines.push_back(
+        {"aerodrome-basic",
+         [] { return std::make_unique<AeroDromeBasic>(0, 0, 0); },
+         &run_baseline<AeroDromeBasic>,
+         &run_baseline_nosets<AeroDromeBasic>});
 
     const std::string policy =
         merge_policy_name(args.merge_epoch, args.merge_barriers);
@@ -180,6 +221,10 @@ run_shard_sweep(const Args& args)
 
     std::string json = "{\n";
     json += "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
+    // Effective parallelism of every run in this file: shard workers can
+    // use at most this many cores, so any "speedup" on an oversubscribed
+    // run measures pipeline overhead, not parallel capacity.
+    json += "  \"effective_parallelism\": " + std::to_string(cores) + ",\n";
     json += "  \"merge_epoch\": " + std::to_string(args.merge_epoch) +
             ",\n  \"merge_policy\": \"" + policy +
             "\",\n  \"workloads\": [\n";
@@ -200,18 +245,30 @@ run_shard_sweep(const Args& args)
             RunResult base = eng.baseline(wl.trace);
             auto emit = [&](const char* label, uint32_t shards,
                             const char* run_policy, uint64_t merge_epoch,
-                            double seconds, const ShardRunResult* r) {
+                            double seconds, const ShardRunResult* r,
+                            bool update_sets) {
                 double evs = seconds > 0
                                  ? static_cast<double>(wl.trace.size()) /
                                        seconds
                                  : 0;
                 double speedup =
                     seconds > 0 ? base.seconds / seconds : 0;
-                std::printf("%20s  %8u  %12s  %10s  %12.0f  %7.2fx\n",
+                // Honesty flag: a run with more shard workers than cores
+                // cannot exhibit parallel speedup; say so in the record
+                // instead of letting 0.00x rows read as regressions.
+                const bool oversubscribed = shards > cores;
+                if (oversubscribed) {
+                    std::fprintf(stderr,
+                                 "warning: %s x%u shards on %u core(s) — "
+                                 "oversubscribed, speedup is not "
+                                 "meaningful\n",
+                                 label, shards, cores);
+                }
+                std::printf("%20s  %8u  %12s  %10s  %12.0f  %7.2fx%s\n",
                             label, shards, run_policy,
-                            format_duration(seconds).c_str(), evs,
-                            speedup);
-                char buf[384];
+                            format_duration(seconds).c_str(), evs, speedup,
+                            oversubscribed ? "  (oversub.)" : "");
+                char buf[512];
                 std::snprintf(
                     buf, sizeof(buf),
                     "      %s{\"engine\": \"%s\", \"shards\": %u, "
@@ -219,7 +276,8 @@ run_shard_sweep(const Args& args)
                     "\"seconds\": %.6f, \"events_per_s\": %.0f, "
                     "\"speedup\": %.3f, \"merges\": %llu, "
                     "\"barrier_merges\": %llu, \"suspects\": %llu, "
-                    "\"replays\": %llu}",
+                    "\"replays\": %llu, \"update_sets\": %s, "
+                    "\"oversubscribed\": %s}",
                     first_run ? "" : ",", label, shards, run_policy,
                     static_cast<unsigned long long>(merge_epoch), seconds,
                     evs, static_cast<double>(speedup),
@@ -228,12 +286,23 @@ run_shard_sweep(const Args& args)
                     static_cast<unsigned long long>(
                         r ? r->barrier_merges : 0),
                     static_cast<unsigned long long>(r ? r->suspects : 0),
-                    static_cast<unsigned long long>(r ? r->replays : 0));
+                    static_cast<unsigned long long>(r ? r->replays : 0),
+                    update_sets ? "true" : "false",
+                    oversubscribed ? "true" : "false");
                 first_run = false;
                 json += buf;
                 json += "\n";
             };
-            emit(eng.name, 1, "single", 0, base.seconds, nullptr);
+            emit(eng.name, 1, "single", 0, base.seconds, nullptr,
+                 update_sets_enabled_default());
+            if (eng.nosets) {
+                // The AERO_UPDATE_SETS=0 ablation: the pre-PR full-table
+                // end sweep, recorded so the update-set win stays
+                // measurable from the JSON alone.
+                RunResult off = eng.nosets(wl.trace);
+                emit(eng.name, 1, "single-nosets", 0, off.seconds, nullptr,
+                     false);
+            }
             for (uint32_t shards : {2u, 4u, 8u}) {
                 // Lockstep is the exactness anchor and the throughput
                 // bar the configured epoch mode has to clear.
@@ -258,7 +327,8 @@ run_shard_sweep(const Args& args)
                          merge_policy_name(merge_epoch,
                                            args.merge_barriers)
                              .c_str(),
-                         merge_epoch, r.result.seconds, &r);
+                         merge_epoch, r.result.seconds, &r,
+                         update_sets_enabled_default());
                 }
             }
         }
@@ -283,6 +353,82 @@ run_shard_sweep(const Args& args)
     return 0;
 }
 
+// --- Update-set smoke gate (--updsets) --------------------------------------
+
+/**
+ * Measure the basic/readopt end-event path on the var-heavy workloads
+ * with update sets on vs off, and fail loudly when readopt's throughput
+ * drops below 10x the pre-update-set baseline recorded in
+ * BENCH_shards.json (shards=1: 12,207 events/s on pipeline, 42,332 on
+ * star) — the regression tripwire for the quadratic end sweep.
+ */
+int
+run_updsets_smoke(const Args& args)
+{
+    const uint32_t scale = args.quick ? 1 : 4;
+    struct Workload {
+        const char* name;
+        Trace trace;
+        double readopt_floor; // events/s, 10x the recorded baseline
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back(
+        {"pipeline", gen::make_pipeline(8, 2500 * scale), 122070.0});
+    {
+        gen::StarOptions star;
+        star.producers = 4;
+        star.consumers = 4;
+        star.rounds = 1250 * scale;
+        workloads.push_back({"star", gen::make_star(star), 423320.0});
+    }
+
+    std::printf("Update-set smoke gate (end-event sweep: sets vs full "
+                "table)\n");
+    std::printf("%10s  %20s  %14s  %14s  %8s\n", "workload", "engine",
+                "sets on ev/s", "sets off ev/s", "win");
+    bool ok = true;
+    for (const Workload& wl : workloads) {
+        struct Row {
+            const char* name;
+            RunResult (*on)(const Trace&);
+            RunResult (*off)(const Trace&);
+            bool gated;
+        };
+        const Row rows[] = {
+            {"aerodrome-readopt", &run_baseline_sets<AeroDromeReadOpt>,
+             &run_baseline_nosets<AeroDromeReadOpt>, true},
+            {"aerodrome-basic", &run_baseline_sets<AeroDromeBasic>,
+             &run_baseline_nosets<AeroDromeBasic>, false},
+        };
+        for (const Row& row : rows) {
+            RunResult on = row.on(wl.trace);
+            RunResult off = row.off(wl.trace);
+            auto evs = [&](const RunResult& r) {
+                return r.seconds > 0
+                           ? static_cast<double>(wl.trace.size()) /
+                                 r.seconds
+                           : 0.0;
+            };
+            const double evs_on = evs(on);
+            const double evs_off = evs(off);
+            std::printf("%10s  %20s  %14.0f  %14.0f  %7.1fx\n", wl.name,
+                        row.name, evs_on, evs_off,
+                        evs_off > 0 ? evs_on / evs_off : 0.0);
+            if (row.gated && evs_on < wl.readopt_floor) {
+                std::fprintf(stderr,
+                             "FAIL: %s on %s ran at %.0f events/s, below "
+                             "the %.0f events/s floor (10x the recorded "
+                             "pre-update-set baseline)\n",
+                             row.name, wl.name, evs_on, wl.readopt_floor);
+                ok = false;
+            }
+        }
+    }
+    if (ok)
+        std::printf("update-set smoke gate passed\n");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -297,6 +443,8 @@ main(int argc, char** argv)
             args.points = std::stoi(argv[++i]);
         else if (a == "--shards")
             args.shards_mode = true;
+        else if (a == "--updsets")
+            args.updsets_mode = true;
         else if (a == "--quick")
             args.quick = true;
         else if (a == "--merge-epoch" && i + 1 < argc) {
@@ -319,6 +467,8 @@ main(int argc, char** argv)
         else if (a == "--json" && i + 1 < argc)
             args.json_path = argv[++i];
     }
+    if (args.updsets_mode)
+        return run_updsets_smoke(args);
     if (args.shards_mode)
         return run_shard_sweep(args);
 

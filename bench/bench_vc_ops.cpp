@@ -211,6 +211,71 @@ bench_join_except(size_t dim)
     return r;
 }
 
+/** The end-event sweep micro-kernel: one completed transaction's
+ *  gate-and-join over an AdaptiveClockTable of `entries` entries, as the
+ *  full-table pass vs the update-window pass (8 enrolled entries — a
+ *  typical transaction footprint). The ratio is the per-end win of the
+ *  update sets at that table size. */
+struct SweepResult {
+    size_t entries;
+    size_t enrolled;
+    double full_ns;   // ns per full-table end sweep
+    double window_ns; // ns per update-window end sweep
+    double
+    speedup() const
+    {
+        return window_ns > 0 ? full_ns / window_ns : 0;
+    }
+};
+
+SweepResult
+bench_end_sweep(size_t entries)
+{
+    constexpr size_t kEnrolled = 8;
+    constexpr ClockValue kGate = 5;
+    SweepResult r;
+    r.entries = entries;
+    r.enrolled = kEnrolled;
+
+    AdaptiveClockTable tbl;
+    // This kernel measures the window mechanism itself; keep it on even
+    // under the AERO_UPDATE_SETS=0 ablation (without this, the window
+    // never opens and update_entries() below is out of bounds).
+    tbl.set_update_sets_enabled(true);
+    tbl.ensure_dim(8);
+    ClockBank clocks(2, 8);
+    clocks[0].set(0, kGate); // the ending thread's clock (pure)
+    clocks[1].set(1, 3);     // a foreign writer: gates stay closed
+    for (size_t i = 0; i < entries; ++i) {
+        tbl.add_entry();
+        tbl.assign(i, clocks[1], 1, true);
+    }
+
+    uint64_t fired = 0;
+    r.full_ns = time_ns_per_op(
+        [&] {
+            for (size_t i = 0; i < entries; ++i)
+                fired += tbl.get(i, 0) >= kGate;
+            benchmark::DoNotOptimize(fired);
+        },
+        entries);
+    r.full_ns *= static_cast<double>(entries); // per end, not per entry
+
+    tbl.open_update_window(0, kGate);
+    for (size_t i = 0; i < kEnrolled && i < entries; ++i)
+        tbl.join(i, clocks[0], 0, true); // enrolls: source >= gate
+    tbl.seal_update_window(0);
+    const auto& set = tbl.update_entries(0);
+    r.window_ns = time_ns_per_op(
+        [&] {
+            for (uint32_t i : set)
+                fired += tbl.get(i, 0) >= kGate;
+            benchmark::DoNotOptimize(fired);
+        },
+        1);
+    return r;
+}
+
 /** Geometric mean of the speedups at dim >= 16 (the acceptance metric:
  *  single-dim points on a shared box are noisy; the geomean across the
  *  swept dims is the stable summary). */
@@ -263,6 +328,10 @@ run_kernel_comparison(const std::string& json_path)
         join_except.push_back(bench_join_except(dim));
     }
 
+    std::vector<SweepResult> sweeps;
+    for (size_t entries : {size_t{1000}, size_t{10000}, size_t{100000}})
+        sweeps.push_back(bench_end_sweep(entries));
+
     std::printf("%-14s %6s %14s %14s %9s\n", "kernel", "dim", "scalar ns/op",
                 "bank ns/op", "speedup");
     auto print = [](const char* name, const std::vector<KernelResult>& rs) {
@@ -275,8 +344,16 @@ run_kernel_comparison(const std::string& json_path)
     print("leq", leq);
     print("join_except", join_except);
 
+    std::printf("\n%-14s %8s %10s %14s %14s %9s\n", "kernel", "entries",
+                "enrolled", "full ns/end", "window ns/end", "speedup");
+    for (const auto& s : sweeps) {
+        std::printf("%-14s %8zu %10zu %14.1f %14.1f %8.0fx\n", "end_sweep",
+                    s.entries, s.enrolled, s.full_ns, s.window_ns,
+                    s.speedup());
+    }
+
     std::string out = "{\n";
-    char buf[128];
+    char buf[192];
     std::snprintf(buf, sizeof(buf), "  \"family_size\": %zu,\n", kFamily);
     out += buf;
 #ifdef AERO_VC_X86_DISPATCH
@@ -287,7 +364,19 @@ run_kernel_comparison(const std::string& json_path)
 #endif
     append_results(out, "join", join, false);
     append_results(out, "leq", leq, false);
-    append_results(out, "join_except", join_except, true);
+    append_results(out, "join_except", join_except, false);
+    out += "  \"end_sweep\": {\"per_table\": [\n";
+    for (size_t i = 0; i < sweeps.size(); ++i) {
+        const auto& s = sweeps[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"entries\": %zu, \"enrolled\": %zu, "
+                      "\"full_ns_per_end\": %.1f, "
+                      "\"window_ns_per_end\": %.1f, \"speedup\": %.0f}%s\n",
+                      s.entries, s.enrolled, s.full_ns, s.window_ns,
+                      s.speedup(), i + 1 < sweeps.size() ? "," : "");
+        out += buf;
+    }
+    out += "  ]}\n";
     out += "}\n";
 
     std::FILE* f = std::fopen(json_path.c_str(), "w");

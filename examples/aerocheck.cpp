@@ -10,7 +10,7 @@
  * Usage:
  *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
  *             [--shards N] [--merge-epoch K|end] [--no-merge-barriers]
- *             [--validate] [--stats] [--witness]
+ *             [--pin] [--validate] [--stats] [--witness]
  *
  *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
  *             aerodrome-basic | velodrome | velodrome-pk
@@ -25,6 +25,8 @@
  *             but detection may lag; implies --no-merge-barriers)
  *   --no-merge-barriers: legacy periodic-only merging; shard violations
  *             between merges are confirmed by suspect-window replay
+ *   --pin:    pin shard worker s to core s mod hardware_concurrency
+ *             (Linux; no-op elsewhere or single-engine)
  *   --validate: run the well-formedness validator first (loads the
  *               trace into memory)
  *   --stats: print engine-specific statistics after the run (per shard
@@ -73,6 +75,7 @@ struct Args {
     /** UINT64_MAX - 1: unset (resolve AERO_MERGE_EPOCH env, else 64). */
     uint64_t merge_epoch = kMergeEpochUnset;
     bool merge_barriers = true;
+    bool pin_workers = false;
     bool validate_first = false;
     bool stats = false;
     bool witness = false;
@@ -148,7 +151,7 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
                  "[--shards N] [--merge-epoch K|end] "
-                 "[--no-merge-barriers] [--validate] [--stats]\n"
+                 "[--no-merge-barriers] [--pin] [--validate] [--stats]\n"
                  "engines: aerodrome aerodrome-tuned aerodrome-readopt "
                  "aerodrome-basic velodrome velodrome-pk\n",
                  argv0);
@@ -196,8 +199,9 @@ void
 print_shard_stats(const ShardRunResult& r)
 {
     for (uint32_t s = 0; s < r.shard_counters.size(); ++s) {
-        std::printf("  shard %u (%s events):\n", s,
-                    with_commas(r.shard_events[s]).c_str());
+        std::printf("  shard %u (%s events, %s bytes of state):\n", s,
+                    with_commas(r.shard_events[s]).c_str(),
+                    with_commas(r.shard_memory_bytes[s]).c_str());
         for (const auto& [name, value] : r.shard_counters[s]) {
             std::printf("    %-20s %s\n", (name + ":").c_str(),
                         with_commas(value).c_str());
@@ -241,6 +245,8 @@ main(int argc, char** argv)
                 return usage(argv[0]);
         } else if (a == "--no-merge-barriers") {
             args.merge_barriers = false;
+        } else if (a == "--pin") {
+            args.pin_workers = true;
         } else if (a == "--validate") {
             args.validate_first = true;
         } else if (a == "--stats") {
@@ -316,6 +322,7 @@ main(int argc, char** argv)
             sopts.shards = shards;
             sopts.merge_epoch = merge_epoch;
             sopts.divergence_barriers = args.merge_barriers;
+            sopts.pin_workers = args.pin_workers;
             // The replay buffers one merge window of the stream; without
             // periodic merges that window is the whole input, which a
             // constant-memory CLI run must not hold.

@@ -67,6 +67,7 @@ AeroDromeBasic::reseed(const EngineSeed& seed)
         grow_dim(dim);
     detail::adopt_engine_seed(c_, c_pure_, cb_, cb_pure_, txns_, seed,
                               [](ThreadId) {});
+    detail::reopen_update_windows(tbl_, txns_, cb_, c_.rows());
 }
 
 void
@@ -195,15 +196,31 @@ AeroDromeBasic::handle_end(ThreadId t, size_t index)
     // Fused propagation sweep: Algorithm 1 applies the same gate-and-join
     // to every L_l, W_x and R_{u,x}, and they all live in one adaptive
     // table, so the per-lock and per-variable loops collapse into one
-    // homogeneous pass over one combined region.
-    const size_t n = tbl_.size();
-    for (size_t i = 0; i < n; ++i) {
+    // homogeneous pass. With update sets tracked, the pass visits only
+    // the entries enrolled since this transaction's begin — every entry
+    // whose gate could fire is among them — instead of the whole table.
+    // The window is sealed first so the sweep's own joins enroll into
+    // *other* threads' windows without growing the list being iterated.
+    auto sweep = [&](size_t i) {
         ++stats_.comparisons;
+        ++stats_.end_swept_entries;
         if (tbl_.vector_leq_entry(cbt, i, t, cbt_pure)) {
             ++stats_.joins;
             tbl_.join(i, ct, t, ct_pure);
+        } else {
+            ++stats_.end_gate_skipped;
         }
+    };
+    tbl_.seal_update_window(t);
+    if (tbl_.update_window_tracked(t)) {
+        for (uint32_t i : tbl_.update_entries(t))
+            sweep(i);
+    } else {
+        const size_t n = tbl_.size();
+        for (size_t i = 0; i < n; ++i)
+            sweep(i);
     }
+    tbl_.close_update_window(t);
     return false;
 }
 
@@ -219,6 +236,9 @@ AeroDromeBasic::process(const Event& e, size_t index)
             c_[t].tick(t); // purity preserved: the own component grew
             cb_[t].assign(c_[t]);
             cb_pure_[t] = c_pure_[t];
+            // The tick minted cb_t(t) fresh: no table entry satisfies the
+            // end gate yet, so the window starts provably empty.
+            tbl_.open_update_window(t, cb_[t].get(t));
         }
         return false;
 
@@ -305,7 +325,23 @@ AeroDromeBasic::counters() const
         {"epoch_fast_ops", es.epoch_fast},
         {"vector_ops", es.vector_ops},
         {"inflations", es.inflations},
+        {"upd_enrolled", es.upd_enrolled},
+        {"end_swept_entries", stats_.end_swept_entries},
+        {"end_gate_skipped", stats_.end_gate_skipped},
     };
+}
+
+size_t
+AeroDromeBasic::memory_bytes() const
+{
+    size_t n = c_.memory_bytes() + cb_.memory_bytes() + tbl_.memory_bytes();
+    n += (lock_slot_.capacity() + w_slot_.capacity()) * sizeof(uint32_t);
+    for (const auto& slots : r_slot_)
+        n += slots.capacity() * sizeof(uint32_t);
+    n += c_pure_.capacity() + cb_pure_.capacity();
+    n += (last_rel_thr_.capacity() + last_w_thr_.capacity()) *
+         sizeof(ThreadId);
+    return n;
 }
 
 } // namespace aero

@@ -19,10 +19,14 @@
  * violation when clk is ordered at-or-after the begin event of t's active
  * transaction (Theorem 2's condition), and otherwise advances C_t.
  *
- * This variant keeps O(|Thr| * Vars) read clocks and iterates all locks,
- * variables, and threads at each end event — exactly the state layout of
- * Algorithm 1. See aerodrome_readopt.hpp and aerodrome_opt.hpp for the
- * paper's optimized versions (Algorithms 2 and 3).
+ * This variant keeps O(|Thr| * Vars) read clocks — exactly the state
+ * layout of Algorithm 1. See aerodrome_readopt.hpp and aerodrome_opt.hpp
+ * for the paper's optimized versions (Algorithms 2 and 3). End events,
+ * however, no longer scan that whole state: Algorithm 3's per-thread
+ * update sets are ported back onto the fused table (the table's update
+ * windows, vc/adaptive_clock.hpp), so a sweep visits only the entries
+ * whose gate can fire — O(|updated since begin|), not O(locks + vars) —
+ * with AERO_UPDATE_SETS=0 restoring the literal full sweep.
  *
  * Storage is epoch-adaptive (vc/adaptive_clock.hpp): L_l, W_x and every
  * R_{t,x} are entries of ONE AdaptiveClockTable — a compact (value@thread)
@@ -53,6 +57,13 @@ struct AeroDromeStats {
     RelaxedCounter joins;
     /** Number of vector-clock ordering comparisons performed. */
     RelaxedCounter comparisons;
+    /** Table entries visited by end-event sweeps (basic/readopt): the
+     *  update-set size when tracked, the whole table when not — the
+     *  complexity-guard suite asserts this scales with the former. */
+    RelaxedCounter end_swept_entries;
+    /** Visited entries whose propagation gate was false (enrollment is an
+     *  over-approximation; a full sweep skips most of the table). */
+    RelaxedCounter end_gate_skipped;
 };
 
 /** AeroDrome, Algorithm 1 (basic). */
@@ -87,7 +98,14 @@ public:
         tbl_.set_epochs_enabled(on);
     }
 
+    /** Toggle end-event update sets (Algorithm 3's sets ported back onto
+     *  the fused table); call before the first event. Off reproduces the
+     *  full-table end sweep. */
+    void set_update_sets(bool on) { tbl_.set_update_sets_enabled(on); }
+
     StatList counters() const override;
+
+    size_t memory_bytes() const override;
 
     /** Test hook: current clock of thread t (C_t). */
     VectorClock clock_of(ThreadId t) const

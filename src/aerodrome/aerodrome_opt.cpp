@@ -446,4 +446,23 @@ AeroDromeOpt::counters() const
     };
 }
 
+size_t
+AeroDromeOpt::memory_bytes() const
+{
+    size_t n = c_.memory_bytes() + cb_.memory_bytes() + tbl_.memory_bytes();
+    n += (lock_slot_.capacity() + var_base_.capacity()) * sizeof(uint32_t);
+    n += c_pure_.capacity() + stale_write_.capacity();
+    n += (last_rel_thr_.capacity() + last_w_thr_.capacity() +
+          parent_thread_.capacity()) *
+         sizeof(ThreadId);
+    n += parent_txn_seq_.capacity() * sizeof(uint64_t);
+    for (const auto& sr : stale_readers_)
+        n += sr.capacity() * sizeof(ThreadId);
+    for (const auto* sets : {&upd_r_, &upd_w_}) {
+        for (const auto& s : *sets)
+            n += s.list.capacity() * sizeof(VarId) + s.member.capacity();
+    }
+    return n;
+}
+
 } // namespace aero

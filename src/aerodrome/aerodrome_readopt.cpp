@@ -67,6 +67,7 @@ AeroDromeReadOpt::reseed(const EngineSeed& seed)
     std::vector<uint8_t> no_cb_pure; // this engine keeps no begin purity
     detail::adopt_engine_seed(c_, c_pure_, cb_, no_cb_pure, txns_, seed,
                               [](ThreadId) {});
+    detail::reopen_update_windows(tbl_, txns_, cb_, c_.rows());
 }
 
 void
@@ -171,12 +172,19 @@ AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
 
     // Fused propagation sweep: locks, W_x, R_x and hR_x all live in one
     // adaptive table, so the per-lock and per-variable loops of the
-    // original algorithm collapse into a single pass over one combined
-    // region — epoch entries are one-word gates, inflated entries stream
-    // through the shared arena. hR_x is driven by its R_x partner (the
-    // algorithm gates both updates on R_x, which subsumes hR_x).
-    const size_t n = tbl_.size();
-    for (size_t i = 0; i < n; ++i) {
+    // original algorithm collapse into a single pass — epoch entries are
+    // one-word gates, inflated entries stream through the shared arena.
+    // hR_x is driven by its R_x partner (the algorithm gates both updates
+    // on R_x, which subsumes hR_x). With update sets tracked the pass
+    // visits only the entries enrolled since this transaction's begin —
+    // every entry whose gate could fire is among them (the gate tests
+    // only the R/W/L entry, so an enrolled hR entry is skipped here like
+    // in the full sweep). The window is sealed first so the sweep's own
+    // joins enroll into *other* threads' windows without growing the list
+    // being iterated; sweep order is immaterial (gates read only their
+    // own entry, joins touch distinct entries).
+    auto sweep = [&](size_t i) {
+        ++stats_.end_swept_entries;
         switch (static_cast<EntryKind>(kinds_[i])) {
           case kLockEntry:
           case kWEntry:
@@ -184,6 +192,8 @@ AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
             if (cbt_t <= tbl_.get(i, t)) {
                 ++stats_.joins;
                 tbl_.join(i, ct, t, ct_pure);
+            } else {
+                ++stats_.end_gate_skipped;
             }
             break;
           case kREntry:
@@ -192,12 +202,25 @@ AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
                 stats_.joins += 2;
                 tbl_.join(i, ct, t, ct_pure);
                 tbl_.join_except(i + 1, ct, t, ct_pure);
+            } else {
+                ++stats_.end_gate_skipped;
             }
             break;
           case kHREntry:
+            ++stats_.end_gate_skipped;
             break; // handled with its R_x partner at i - 1
         }
+    };
+    tbl_.seal_update_window(t);
+    if (tbl_.update_window_tracked(t)) {
+        for (uint32_t i : tbl_.update_entries(t))
+            sweep(i);
+    } else {
+        const size_t n = tbl_.size();
+        for (size_t i = 0; i < n; ++i)
+            sweep(i);
     }
+    tbl_.close_update_window(t);
     return false;
 }
 
@@ -212,6 +235,9 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
         if (txns_.on_begin(t)) {
             c_[t].tick(t); // purity preserved: the own component grew
             cb_[t].assign(c_[t]);
+            // The tick minted cb_t(t) fresh: no table entry satisfies the
+            // end gate yet, so the window starts provably empty.
+            tbl_.open_update_window(t, cb_[t].get(t));
         }
         return false;
 
@@ -297,7 +323,21 @@ AeroDromeReadOpt::counters() const
         {"epoch_fast_ops", es.epoch_fast},
         {"vector_ops", es.vector_ops},
         {"inflations", es.inflations},
+        {"upd_enrolled", es.upd_enrolled},
+        {"end_swept_entries", stats_.end_swept_entries},
+        {"end_gate_skipped", stats_.end_gate_skipped},
     };
+}
+
+size_t
+AeroDromeReadOpt::memory_bytes() const
+{
+    size_t n = c_.memory_bytes() + cb_.memory_bytes() + tbl_.memory_bytes();
+    n += (lock_slot_.capacity() + var_base_.capacity()) * sizeof(uint32_t);
+    n += kinds_.capacity() + c_pure_.capacity();
+    n += (last_rel_thr_.capacity() + last_w_thr_.capacity()) *
+         sizeof(ThreadId);
+    return n;
 }
 
 } // namespace aero

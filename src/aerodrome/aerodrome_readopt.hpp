@@ -25,9 +25,12 @@
  * hR_x live in ONE AdaptiveClockTable whose entries are compact epochs
  * until first contention and rows of a shared inflation arena after. A
  * variable occupies three adjacent entries (W, R, hR) and the end-event
- * propagation is a single fused pass over the whole table — locks and
- * variables in one sweep (the bank-aware end-event batching of the
- * ROADMAP). Per-thread clocks C_t / C_t^b stay in ClockBanks; a purity
+ * propagation is a single fused pass (the bank-aware end-event batching
+ * of the ROADMAP) over the entries enrolled in the ending thread's
+ * update window (Algorithm 3's update sets ported back onto the table;
+ * vc/adaptive_clock.hpp) — O(|updated since begin|) instead of the whole
+ * table, with AERO_UPDATE_SETS=0 restoring the literal full sweep.
+ * Per-thread clocks C_t / C_t^b stay in ClockBanks; a purity
  * bit per thread ("C_t == bot[v/t]") drives the O(1) fast paths.
  */
 
@@ -75,7 +78,14 @@ public:
         tbl_.set_epochs_enabled(on);
     }
 
+    /** Toggle end-event update sets (Algorithm 3's sets ported back onto
+     *  the fused table); call before the first event. Off reproduces the
+     *  full-table end sweep. */
+    void set_update_sets(bool on) { tbl_.set_update_sets_enabled(on); }
+
     StatList counters() const override;
+
+    size_t memory_bytes() const override;
 
 private:
     /** What a table entry stores; drives the fused end-event sweep. */

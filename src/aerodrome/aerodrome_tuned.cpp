@@ -507,4 +507,30 @@ AeroDromeTuned::counters() const
     };
 }
 
+size_t
+AeroDromeTuned::memory_bytes() const
+{
+    size_t n = c_.memory_bytes() + cb_.memory_bytes() + tbl_.memory_bytes();
+    n += (lock_slot_.capacity() + var_base_.capacity() +
+          active_pos_.capacity()) *
+         sizeof(uint32_t);
+    n += c_pure_.capacity() + stale_write_.capacity();
+    n += (last_rel_thr_.capacity() + last_w_thr_.capacity() +
+          parent_thread_.capacity() + active_threads_.capacity() +
+          last_reader_.capacity()) *
+         sizeof(ThreadId);
+    n += (parent_txn_seq_.capacity() + clock_version_.capacity() +
+          var_version_.capacity() + last_reader_cv_.capacity() +
+          last_reader_vv_.capacity() + last_writer_cv_.capacity() +
+          last_writer_vv_.capacity()) *
+         sizeof(uint64_t);
+    for (const auto& sr : stale_readers_)
+        n += sr.capacity() * sizeof(ThreadId);
+    for (const auto* sets : {&upd_r_, &upd_w_}) {
+        for (const auto& s : *sets)
+            n += s.list.capacity() * sizeof(VarId) + s.member.capacity();
+    }
+    return n;
+}
+
 } // namespace aero

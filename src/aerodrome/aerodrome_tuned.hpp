@@ -94,6 +94,8 @@ public:
 
     StatList counters() const override;
 
+    size_t memory_bytes() const override;
+
 private:
     /** Purity of C_u as consumed by fast paths (gated by the toggle). */
     bool

@@ -19,9 +19,42 @@
 
 #include "analysis/checker.hpp"
 #include "analysis/txn_tracker.hpp"
+#include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
 
 namespace aero::detail {
+
+/**
+ * Re-establish the adaptive table's per-thread update windows after a
+ * reseed (basic/readopt engines). Reseeding restores transactions the
+ * engine never saw begin — and can grow C_t^b mid-transaction — so every
+ * existing window is stale: close them all, then reopen one per restored
+ * active transaction with the restored gate cb_t(t).
+ *
+ * The windows' enrollment invariant ("every entry whose gate can fire is
+ * enrolled") holds trivially when the table is empty — the fresh
+ * confirmation engines of the sharded runner's suspect replay, the only
+ * in-tree reseed consumers. A *populated* table may already hold entries
+ * at or above a restored gate that no mutation will re-announce, so its
+ * windows are left untracked and those transactions' end events fall
+ * back to the (always exact) full-table sweep.
+ *
+ * Frontier *adoption* needs no counterpart: adopt_frontier only grows
+ * C_t, never a table entry or a begin clock, so gates and enrollment are
+ * untouched — future mutations see the grown source clocks at mutation
+ * time.
+ */
+inline void
+reopen_update_windows(AdaptiveClockTable& tbl, const TxnTracker& txns,
+                      const ClockBank& cb, size_t threads)
+{
+    const bool clean = tbl.size() == 0;
+    for (ThreadId t = 0; t < threads; ++t) {
+        tbl.close_update_window(t);
+        if (clean && txns.active(t))
+            tbl.open_update_window(t, cb[t].get(t));
+    }
+}
 
 /** Snapshot every row of `c` into `out` (resets it first). */
 inline void

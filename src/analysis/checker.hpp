@@ -175,6 +175,14 @@ public:
     virtual StatList counters() const { return {}; }
 
     /**
+     * Approximate bytes of analysis state this engine holds (clock banks,
+     * adaptive tables, bookkeeping vectors). Surfaced per shard through
+     * ShardRunResult::shard_memory_bytes; 0 when the engine does not
+     * account for itself.
+     */
+    virtual size_t memory_bytes() const { return 0; }
+
+    /**
      * Sharded-checking support (src/shard/README.md). An engine that
      * maintains per-thread clocks C_t can run as one shard of a
      * ShardedRunner: it must export its clock frontier and adopt a merged

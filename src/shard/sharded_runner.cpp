@@ -10,6 +10,11 @@
 #include <string>
 #include <thread>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "shard/spsc_queue.hpp"
 #include "support/assert.hpp"
 #include "support/stopwatch.hpp"
@@ -267,6 +272,21 @@ private:
     uint64_t generation_ = 0;
 };
 
+/** Pin the calling thread to one core (ShardOptions::pin_workers).
+ *  Best-effort: a failed or unsupported set_affinity is ignored. */
+void
+pin_to_core(uint32_t core)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(core % CPU_SETSIZE, &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)core;
+#endif
+}
+
 /**
  * Shard worker: drain the queue, feeding events to the engine until it
  * fires or the global violation horizon passes them by. A fired lane
@@ -275,8 +295,10 @@ private:
  */
 void
 worker_loop(Lane& lane, MergeBarrier& barrier,
-            std::atomic<uint64_t>& stop_at)
+            std::atomic<uint64_t>& stop_at, int pin_core)
 {
+    if (pin_core >= 0)
+        pin_to_core(static_cast<uint32_t>(pin_core));
     for (;;) {
         ShardItem it = lane.queue->pop();
         if (it.kind == ShardItem::kEof) {
@@ -463,6 +485,10 @@ join_verdicts(const EngineFactory& factory, std::vector<Lane>& lanes,
     for (auto& lane : lanes) {
         out.shard_counters.push_back(lane.engine->counters());
         out.shard_events.push_back(lane.processed);
+        uint64_t bytes = lane.engine->memory_bytes();
+        if (lane.queue)
+            bytes += (lane.queue->capacity() + 1) * sizeof(ShardItem);
+        out.shard_memory_bytes.push_back(bytes);
     }
     for (const StatList& counters : out.shard_counters) {
         for (const auto& entry : counters) {
@@ -516,11 +542,14 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                          lanes[0].engine->uses_live_clock_proxies());
     std::atomic<uint64_t> stop_at{UINT64_MAX};
 
+    const unsigned cores = std::thread::hardware_concurrency();
     std::vector<std::thread> workers;
     workers.reserve(shards);
-    for (auto& lane : lanes) {
-        workers.emplace_back(worker_loop, std::ref(lane), std::ref(barrier),
-                             std::ref(stop_at));
+    for (uint32_t s = 0; s < shards; ++s) {
+        const int pin_core =
+            opts.pin_workers && cores > 0 ? static_cast<int>(s % cores) : -1;
+        workers.emplace_back(worker_loop, std::ref(lanes[s]),
+                             std::ref(barrier), std::ref(stop_at), pin_core);
     }
 
     Stopwatch watch;

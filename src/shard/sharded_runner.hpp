@@ -92,6 +92,11 @@ struct ShardOptions {
     ShardPolicy policy = &hash_shard_policy;
     /** Bounded per-shard queue size (threaded driver only). */
     size_t queue_capacity = 4096;
+    /** Pin shard worker s to core s mod hardware_concurrency (threaded
+     *  driver, Linux only; elsewhere a no-op). Keeps each engine's banks
+     *  and arena resident in one core's cache — and, on NUMA machines,
+     *  on the node that first touched them (aerocheck --pin). */
+    bool pin_workers = false;
     /** Wall-clock budget, enforced by the reader thread. */
     RunBudget budget;
 };
@@ -121,6 +126,10 @@ struct ShardRunResult {
     std::vector<StatList> shard_counters;
     /** Events each shard actually processed (after projection). */
     std::vector<uint64_t> shard_events;
+    /** Bytes of analysis state per shard at the end of the run: the
+     *  engine's banks + adaptive table (arena) + bookkeeping, plus the
+     *  shard's queue buffer in the threaded driver. */
+    std::vector<uint64_t> shard_memory_bytes;
 };
 
 /** Threaded driver: stream `source` through `opts.shards` workers. */

@@ -50,6 +50,12 @@ namespace aero {
  *  "0"/"off" in the environment (read once). */
 bool epochs_enabled_default();
 
+/** Process-wide default for update-set tracking: false iff
+ *  AERO_UPDATE_SETS is set to "0"/"off" in the environment (read once).
+ *  Off reproduces the full-table end sweep — the differential escape
+ *  hatch. */
+bool update_sets_enabled_default();
+
 /** Counters for the evaluation harness and the runner's report.
  *  Single-writer relaxed atomics (support/counter.hpp): safe to read
  *  from another thread while the owning shard worker keeps counting. */
@@ -62,6 +68,9 @@ struct AdaptiveClockStats {
     RelaxedCounter vector_ops;
     /** Entries promoted epoch -> arena row. */
     RelaxedCounter inflations;
+    /** Entries enrolled into a thread's update window (unique per
+     *  (entry, open window); see open_update_window). */
+    RelaxedCounter upd_enrolled;
 };
 
 /**
@@ -117,6 +126,104 @@ public:
      *  their banks and tables at one shared dimension). */
     void ensure_dim(size_t d) { arena_.ensure_dim(d); }
 
+    // --- Per-thread update windows (Algorithm 3's update sets, lifted to
+    // --- table entries) -----------------------------------------------------
+    //
+    // A window tracks, for one thread t with an active transaction, every
+    // entry whose end-event gate `cb_t(t) <= entry(t)` can possibly fire.
+    // The gate value cb_t(t) is minted fresh by the tick at t's outermost
+    // begin, so no entry can satisfy the gate when the window opens; an
+    // entry can only come to satisfy it through a later assign/join whose
+    // *source clock* already carries component t at or above the gate —
+    // which is exactly when the mutators below enroll the entry. Window
+    // sweeps at end events may therefore visit only the enrolled entries
+    // instead of the whole table; enrollment is an over-approximation
+    // (assign can lower a component again), so sweeps still apply the
+    // real gate. Frontier adoption never touches table entries and gate
+    // values are frozen for the life of a transaction, so merges in the
+    // sharded runner preserve the invariant; reseeding does not (it can
+    // grow cb_t mid-transaction), so reseeded engines must reopen windows
+    // via reopen-after-reseed (untracked when the table is already
+    // populated — the end sweep then falls back to the full table).
+
+    /** Toggle update-set tracking (default from AERO_UPDATE_SETS; call
+     *  before feeding events). Off = every window untracked = full-table
+     *  end sweeps. */
+    void set_update_sets_enabled(bool on) { upd_sets_ = on; }
+    bool update_sets_enabled() const { return upd_sets_; }
+
+    /**
+     * Open thread t's window with gate `gate` (= cb_t(t) right after the
+     * outermost begin), clearing any previous enrollment. A zero gate —
+     * impossible on well-formed state — leaves the window untracked.
+     */
+    void
+    open_update_window(ThreadId t, ClockValue gate)
+    {
+        if (!upd_sets_)
+            return;
+        if (t >= upd_.size()) {
+            upd_.resize(t + 1);
+            upd_gate_.resize(t + 1, 0);
+        }
+        close_update_window(t);
+        if (gate == 0)
+            return;
+        upd_[t].tracked = 1;
+        upd_gate_[t] = gate;
+        open_windows_.push_back(t);
+    }
+
+    /** Stop enrolling into t's window but keep its entries readable —
+     *  called at the top of an end sweep so the sweep's own joins no
+     *  longer append to the list being iterated. */
+    void
+    seal_update_window(ThreadId t)
+    {
+        if (t < upd_gate_.size() && upd_gate_[t] != 0) {
+            upd_gate_[t] = 0;
+            for (size_t k = 0; k < open_windows_.size(); ++k) {
+                if (open_windows_[k] == t) {
+                    open_windows_[k] = open_windows_.back();
+                    open_windows_.pop_back();
+                    break;
+                }
+            }
+        }
+    }
+
+    /** Drop t's window entirely (after its end sweep, or on reseed). */
+    void
+    close_update_window(ThreadId t)
+    {
+        if (t >= upd_.size())
+            return;
+        seal_update_window(t);
+        UpdWindow& w = upd_[t];
+        for (uint32_t i : w.list)
+            w.member[i] = 0;
+        w.list.clear();
+        w.tracked = 0;
+    }
+
+    /** True iff t's end sweep may visit only update_entries(t); false
+     *  demands the full-table sweep (tracking off, untracked window). */
+    bool
+    update_window_tracked(ThreadId t) const
+    {
+        return upd_sets_ && t < upd_.size() && upd_[t].tracked != 0;
+    }
+
+    /** The entries enrolled in t's window (valid while sealed, until
+     *  close_update_window). Unordered; duplicates never occur. Callers
+     *  must check update_window_tracked(t) first. */
+    const std::vector<uint32_t>&
+    update_entries(ThreadId t) const
+    {
+        assert(update_window_tracked(t));
+        return upd_[t].list;
+    }
+
     bool
     is_inflated(size_t i) const
     {
@@ -163,6 +270,8 @@ public:
     void
     assign(size_t i, ConstClockRef c, ThreadId t, bool c_pure)
     {
+        if (!open_windows_.empty())
+            enroll(i, c, t, c_pure, /*zero_t=*/false);
         if (epochs_ && c_pure && !is_inflated(i)) {
             entries_[i] = Epoch(c.get(t), t).bits();
             ++stats_.epoch_fast;
@@ -175,6 +284,8 @@ public:
     void
     join(size_t i, ConstClockRef c, ThreadId t, bool c_pure)
     {
+        if (!open_windows_.empty())
+            enroll(i, c, t, c_pure, /*zero_t=*/false);
         uint64_t bits = entries_[i];
         if (c_pure) {
             ClockValue v = c.get(t);
@@ -206,6 +317,8 @@ public:
     void
     join_except(size_t i, ConstClockRef c, ThreadId t, bool c_pure)
     {
+        if (!open_windows_.empty())
+            enroll(i, c, t, c_pure, /*zero_t=*/true);
         if (c_pure) {
             ++stats_.epoch_fast;
             return;
@@ -280,8 +393,71 @@ public:
     const ClockBank& arena() const { return arena_; }
     size_t arena_rows() const { return arena_rows_; }
 
+    /** Bytes held by the entry words, the inflation arena and the
+     *  update-window bookkeeping (per-shard memory accounting). */
+    size_t
+    memory_bytes() const
+    {
+        size_t n = entries_.capacity() * sizeof(uint64_t) +
+                   arena_.memory_bytes() +
+                   upd_gate_.capacity() * sizeof(ClockValue) +
+                   open_windows_.capacity() * sizeof(uint32_t);
+        for (const UpdWindow& w : upd_) {
+            n += sizeof(UpdWindow) + w.list.capacity() * sizeof(uint32_t) +
+                 w.member.capacity();
+        }
+        return n;
+    }
+
 private:
     static constexpr uint64_t kInflatedTag = uint64_t{1} << 63;
+
+    /** One thread's update window: enrolled entries as a list plus
+     *  membership bytes (lazily sized by entry id) for O(1) dedup. */
+    struct UpdWindow {
+        std::vector<uint32_t> list;
+        std::vector<uint8_t> member;
+        uint8_t tracked = 0;
+    };
+
+    /**
+     * Enroll entry i into the window of every thread u whose gate the
+     * mutation `entry_i op= c` could make fireable: c's component u is at
+     * or above u's gate. A pure source (c == bot[v/t]) carries only
+     * component t, so only t's window needs the test; zero_t sources
+     * (join_except, c[0/t]) contribute nothing through component t.
+     */
+    void
+    enroll(size_t i, ConstClockRef c, ThreadId t, bool c_pure, bool zero_t)
+    {
+        if (c_pure) {
+            if (!zero_t && t < upd_gate_.size()) {
+                ClockValue g = upd_gate_[t];
+                if (g != 0 && c.get(t) >= g)
+                    enroll_into(t, static_cast<uint32_t>(i));
+            }
+            return;
+        }
+        for (uint32_t u : open_windows_) {
+            if (zero_t && u == t)
+                continue;
+            if (c.get(u) >= upd_gate_[u])
+                enroll_into(u, static_cast<uint32_t>(i));
+        }
+    }
+
+    void
+    enroll_into(ThreadId u, uint32_t i)
+    {
+        UpdWindow& w = upd_[u];
+        if (i >= w.member.size())
+            w.member.resize(i + 1, 0);
+        if (!w.member[i]) {
+            w.member[i] = 1;
+            w.list.push_back(i);
+            ++stats_.upd_enrolled;
+        }
+    }
 
     ClockRef
     mut_row(uint64_t bits)
@@ -301,6 +477,12 @@ private:
     ClockBank arena_;
     size_t arena_rows_ = 0;
     bool epochs_;
+    bool upd_sets_ = update_sets_enabled_default();
+    /** Window per thread; upd_gate_[t] != 0 iff t's window is open (still
+     *  enrolling); open_windows_ lists exactly those threads. */
+    std::vector<UpdWindow> upd_;
+    std::vector<ClockValue> upd_gate_;
+    std::vector<uint32_t> open_windows_;
     AdaptiveClockStats stats_;
 };
 

@@ -311,6 +311,13 @@ public:
     size_t dim() const { return dim_; }
     size_t stride() const { return stride_; }
 
+    /** Bytes of the backing allocation (per-shard memory accounting). */
+    size_t
+    memory_bytes() const
+    {
+        return row_cap_ * stride_ * sizeof(ClockValue);
+    }
+
     /** Grow to at least n rows (new rows are bottom). Invalidates refs. */
     void ensure_rows(size_t n);
 
