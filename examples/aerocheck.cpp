@@ -10,7 +10,8 @@
  * Usage:
  *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
  *             [--shards N] [--merge-epoch K|end] [--no-merge-barriers]
- *             [--pin] [--validate] [--stats] [--witness]
+ *             [--pin] [--resync] [--watchdog MS] [--validate] [--stats]
+ *             [--witness]
  *
  *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
  *             aerodrome-basic | velodrome | velodrome-pk
@@ -27,6 +28,13 @@
  *             between merges are confirmed by suspect-window replay
  *   --pin:    pin shard worker s to core s mod hardware_concurrency
  *             (Linux; no-op elsewhere or single-engine)
+ *   --resync: skip corrupt records and keep checking (the verdict
+ *             degrades to "no violation found", exit 5, when records
+ *             were skipped) instead of stopping at the first one
+ *   --watchdog: sharded runs only — evict a shard worker whose
+ *             heartbeat freezes for MS milliseconds and recover it from
+ *             the last merge checkpoint (src/shard/README.md, "Failure
+ *             model"); 0 (default) disables recovery
  *   --validate: run the well-formedness validator first (loads the
  *               trace into memory)
  *   --stats: print engine-specific statistics after the run (per shard
@@ -36,7 +44,14 @@
  *              prefix up to the violating event; loads the trace)
  *
  * Exit code: 0 = serializable, 1 = violation, 2 = usage/input error,
- * 3 = budget exceeded.
+ * 3 = budget exceeded, 4 = corrupt input stream (strict mode),
+ * 5 = completed degraded (resync skips or worker recovery: a reported
+ * violation would still be real, but "no violation" is not a proof),
+ * 6 = internal error (contained panic / resource cap).
+ *
+ * Fault injection (robustness drills): AERO_FAULT_PLAN=site:kind:trigger
+ * in the environment arms the process-wide FaultInjector before the run
+ * (src/support/fault.hpp for the grammar).
  */
 
 #include <algorithm>
@@ -55,6 +70,7 @@
 #include "oracle/serializability_oracle.hpp"
 #include "shard/sharded_runner.hpp"
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/str.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/stream.hpp"
@@ -76,6 +92,8 @@ struct Args {
     uint64_t merge_epoch = kMergeEpochUnset;
     bool merge_barriers = true;
     bool pin_workers = false;
+    bool resync = false;
+    uint32_t watchdog_ms = 0;
     bool validate_first = false;
     bool stats = false;
     bool witness = false;
@@ -151,7 +169,8 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
                  "[--shards N] [--merge-epoch K|end] "
-                 "[--no-merge-barriers] [--pin] [--validate] [--stats]\n"
+                 "[--no-merge-barriers] [--pin] [--resync] "
+                 "[--watchdog MS] [--validate] [--stats]\n"
                  "engines: aerodrome aerodrome-tuned aerodrome-readopt "
                  "aerodrome-basic velodrome velodrome-pk\n",
                  argv0);
@@ -247,6 +266,13 @@ main(int argc, char** argv)
             args.merge_barriers = false;
         } else if (a == "--pin") {
             args.pin_workers = true;
+        } else if (a == "--resync") {
+            args.resync = true;
+        } else if (a == "--watchdog" && i + 1 < argc) {
+            unsigned long v = 0;
+            if (!parse_bounded(argv[++i], 0, 3600ul * 1000, v))
+                return usage(argv[0]);
+            args.watchdog_ms = static_cast<uint32_t>(v);
         } else if (a == "--validate") {
             args.validate_first = true;
         } else if (a == "--stats") {
@@ -270,6 +296,12 @@ main(int argc, char** argv)
         return usage(argv[0]);
     }
 
+    // Contain engine panics as a structured internal-error outcome (exit
+    // 6 with context) instead of an abort, and arm any AERO_FAULT_PLAN
+    // robustness drill requested by the environment.
+    set_panic_handler(&throwing_panic_handler);
+    FaultInjector::instance().arm_from_env();
+
     try {
         if (args.validate_first) {
             bool binary = args.path.size() > 4 &&
@@ -290,6 +322,7 @@ main(int argc, char** argv)
 
         std::unique_ptr<std::istream> storage;
         auto source = open_event_source(args.path, storage);
+        source->set_resync(args.resync);
 
         RunBudget budget;
         budget.max_seconds = args.budget;
@@ -328,6 +361,7 @@ main(int argc, char** argv)
             // constant-memory CLI run must not hold.
             sopts.confirm_replay = merge_epoch >= 2 &&
                                    merge_epoch != ShardOptions::kMergeEndOnly;
+            sopts.watchdog_ms = args.watchdog_ms;
             sopts.budget = budget;
             sharded = run_sharded(
                 [&args] { return make_engine(args.engine); }, *source,
@@ -337,15 +371,65 @@ main(int argc, char** argv)
             r = run_checker_stream(*checker, *source, budget);
         }
 
+        const RunStatus status = r.status();
+        const char* verdict = "serializable";
+        switch (status) {
+          case RunStatus::kOk:
+            break;
+          case RunStatus::kViolation:
+            verdict = "VIOLATION";
+            break;
+          case RunStatus::kTimeout:
+            verdict = "BUDGET EXCEEDED";
+            break;
+          case RunStatus::kDegraded:
+            verdict = "no violation found (DEGRADED)";
+            break;
+          case RunStatus::kStreamError:
+            verdict = "ABORTED ON CORRUPT INPUT";
+            break;
+          case RunStatus::kInternalError:
+            verdict = "INTERNAL ERROR";
+            break;
+        }
         std::printf("%s%s: %s after %s events in %s\n",
                     std::string(checker->name()).c_str(),
                     shards > 1
                         ? (" x" + std::to_string(shards) + " shards").c_str()
                         : "",
-                    r.timed_out ? "BUDGET EXCEEDED"
-                                : (r.violation ? "VIOLATION" : "serializable"),
-                    with_commas(r.events_processed).c_str(),
+                    verdict, with_commas(r.events_processed).c_str(),
                     format_duration(r.seconds).c_str());
+        if (r.stream_error) {
+            std::printf("  input error [%s] at event %s, byte offset %s: "
+                        "%s\n",
+                        stream_error_cause_name(r.stream_error->cause),
+                        with_commas(r.stream_error->event_index).c_str(),
+                        with_commas(r.stream_error->byte_offset).c_str(),
+                        r.stream_error->message.c_str());
+        }
+        if (r.stream_errors_recovered > 0) {
+            std::printf("  resync: skipped %s corrupt record(s):\n",
+                        with_commas(r.stream_errors_recovered).c_str());
+            for (const StreamError& err : source->recovered_errors()) {
+                std::printf("    [%s] event %s, byte offset %s: %s\n",
+                            stream_error_cause_name(err.cause),
+                            with_commas(err.event_index).c_str(),
+                            with_commas(err.byte_offset).c_str(),
+                            err.message.c_str());
+            }
+        }
+        if (r.degraded)
+            std::printf("  degraded: %s\n", r.degraded_reason.c_str());
+        if (!r.internal_error.empty())
+            std::printf("  internal error: %s\n", r.internal_error.c_str());
+        if (sharded && (sharded->recoveries > 0 ||
+                        sharded->shards_abandoned > 0)) {
+            std::printf("  worker recovery: %s recoveries, %s shards "
+                        "abandoned, %s events dropped\n",
+                        with_commas(sharded->recoveries).c_str(),
+                        with_commas(sharded->shards_abandoned).c_str(),
+                        with_commas(sharded->events_dropped).c_str());
+        }
         if (r.violation) {
             std::printf("  at event index %zu, thread id %u",
                         r.details->event_index, r.details->thread);
@@ -368,9 +452,33 @@ main(int argc, char** argv)
             else
                 print_counters(checker->counters());
         }
-        if (r.timed_out)
+        switch (status) {
+          case RunStatus::kOk:
+            return 0;
+          case RunStatus::kViolation:
+            return 1;
+          case RunStatus::kTimeout:
             return 3;
-        return r.violation ? 1 : 0;
+          case RunStatus::kStreamError:
+            return 4;
+          case RunStatus::kDegraded:
+            return 5;
+          case RunStatus::kInternalError:
+            return 6;
+        }
+        return 6; // unreachable
+    } catch (const StreamCorruption& e) {
+        // Corruption detected outside the runner loop (e.g. a bad binary
+        // header rejected while opening the source).
+        const StreamError& err = e.error();
+        std::fprintf(stderr,
+                     "corrupt input [%s] at event %llu, byte offset %llu: "
+                     "%s\n",
+                     stream_error_cause_name(err.cause),
+                     static_cast<unsigned long long>(err.event_index),
+                     static_cast<unsigned long long>(err.byte_offset),
+                     err.message.c_str());
+        return 4;
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;

@@ -1,9 +1,74 @@
 #include "analysis/runner.hpp"
 
+#include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/stopwatch.hpp"
 #include "trace/stream.hpp"
 
 namespace aero {
+
+namespace {
+
+/** Memory-cap poll shared by both runner loops. @return true when the
+ *  run must stop (internal_error set). */
+bool
+memory_breached(AtomicityChecker& checker, const RunBudget& budget,
+                RunResult& result)
+{
+    const bool fault_armed =
+        FaultInjector::instance().armed_for(FaultSite::kAlloc);
+    if (budget.max_memory_bytes == 0 && !fault_armed)
+        return false;
+    const uint64_t bytes = checker.memory_bytes();
+    if (fault_armed && FaultInjector::instance().alloc_breach(bytes)) {
+        result.internal_error =
+            "memory cap breached (injected) at " + std::to_string(bytes) +
+            " bytes";
+        return true;
+    }
+    if (budget.max_memory_bytes != 0 && bytes > budget.max_memory_bytes) {
+        result.internal_error =
+            "memory cap breached: " + std::to_string(bytes) + " > " +
+            std::to_string(budget.max_memory_bytes) + " bytes";
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+const char*
+run_status_name(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::kOk:
+        return "ok";
+      case RunStatus::kViolation:
+        return "violation";
+      case RunStatus::kTimeout:
+        return "timeout";
+      case RunStatus::kDegraded:
+        return "degraded";
+      case RunStatus::kStreamError:
+        return "stream-error";
+      case RunStatus::kInternalError:
+        return "internal-error";
+    }
+    return "?";
+}
+
+bool
+reserve_hint_sane(uint32_t threads, uint32_t vars, uint32_t locks)
+{
+    // Engines allocate per-thread clock banks over each id space; gate on
+    // the products (and a generous thread cap — thread count multiplies
+    // everything, including the frontier itself).
+    constexpr uint64_t kMaxProduct = 1ull << 28;
+    constexpr uint64_t kMaxThreads = 1u << 12;
+    const uint64_t t = threads;
+    return t <= kMaxThreads && t * vars <= kMaxProduct &&
+           t * locks <= kMaxProduct && t * t <= kMaxProduct;
+}
 
 RunResult
 run_checker(AtomicityChecker& checker, const Trace& trace,
@@ -17,20 +82,32 @@ run_checker(AtomicityChecker& checker, const Trace& trace,
     // The trace knows its dimensions up front; let arena-backed engines
     // size their clock banks once instead of re-laying them out as new
     // thread/var/lock ids appear inside the timed loop.
-    checker.reserve(trace.num_threads(), trace.num_vars(),
-                    trace.num_locks());
+    if (reserve_hint_sane(trace.num_threads(), trace.num_vars(),
+                          trace.num_locks()))
+        checker.reserve(trace.num_threads(), trace.num_vars(),
+                        trace.num_locks());
 
-    for (size_t i = 0; i < events.size(); ++i) {
-        if (limited && (i % budget.check_interval) == 0 &&
-            watch.elapsed_seconds() > budget.max_seconds) {
-            result.timed_out = true;
-            break;
+    PanicContextScope panic_scope;
+    try {
+        for (size_t i = 0; i < events.size(); ++i) {
+            if ((i % budget.check_interval) == 0) {
+                if (limited &&
+                    watch.elapsed_seconds() > budget.max_seconds) {
+                    result.timed_out = true;
+                    break;
+                }
+                if (memory_breached(checker, budget, result))
+                    break;
+            }
+            panic_scope.set_index(i);
+            ++result.events_processed;
+            if (checker.process(events[i], i)) {
+                result.violation = true;
+                break;
+            }
         }
-        ++result.events_processed;
-        if (checker.process(events[i], i)) {
-            result.violation = true;
-            break;
-        }
+    } catch (const InternalError& e) {
+        result.internal_error = e.what(); // contained panic
     }
     result.seconds = watch.elapsed_seconds();
     result.details = checker.violation();
@@ -49,23 +126,39 @@ run_checker_stream(AtomicityChecker& checker, EventSource& source,
     // Sources that know the stream's metainfo dimensions up front (binary
     // headers, in-memory traces) get the same arena pre-sizing as the
     // materialized path; text sources intern incrementally and grow.
+    // Header dimensions are untrusted input: implausible ones skip the
+    // hint rather than turn into a giant allocation.
     uint32_t threads = 0, vars = 0, locks = 0;
-    if (source.dimensions(threads, vars, locks))
+    if (source.dimensions(threads, vars, locks) &&
+        reserve_hint_sane(threads, vars, locks))
         checker.reserve(threads, vars, locks);
 
-    Event e;
-    for (size_t i = 0; source.next(e); ++i) {
-        if (limited && (i % budget.check_interval) == 0 &&
-            watch.elapsed_seconds() > budget.max_seconds) {
-            result.timed_out = true;
-            break;
+    PanicContextScope panic_scope;
+    try {
+        Event e;
+        for (size_t i = 0; source.next(e); ++i) {
+            if ((i % budget.check_interval) == 0) {
+                if (limited &&
+                    watch.elapsed_seconds() > budget.max_seconds) {
+                    result.timed_out = true;
+                    break;
+                }
+                if (memory_breached(checker, budget, result))
+                    break;
+            }
+            panic_scope.set_index(i);
+            ++result.events_processed;
+            if (checker.process(e, i)) {
+                result.violation = true;
+                break;
+            }
         }
-        ++result.events_processed;
-        if (checker.process(e, i)) {
-            result.violation = true;
-            break;
-        }
+    } catch (const StreamCorruption& e) {
+        result.stream_error = e.error(); // structured; run ends here
+    } catch (const InternalError& e) {
+        result.internal_error = e.what(); // contained panic
     }
+    result.stream_errors_recovered = source.recovered_error_count();
     result.seconds = watch.elapsed_seconds();
     result.details = checker.violation();
     result.counters = checker.counters();

@@ -7,11 +7,20 @@
  * The paper ran each analysis with a 10-hour timeout and reports "TO" where
  * Velodrome exceeded it (Table 1). The runner reproduces those semantics at
  * laptop scale: a wall-clock budget checked every `check_interval` events.
+ *
+ * Every run ends in a structured RunStatus — ok, violation, timeout,
+ * degraded (a recovery path lost exactness), stream_error (corrupt
+ * input), or internal_error (a contained panic / resource-cap breach) —
+ * never a hang or a torn result. aerocheck maps these to distinct exit
+ * codes.
  */
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "analysis/checker.hpp"
+#include "trace/stream_error.hpp"
 #include "trace/trace.hpp"
 
 namespace aero {
@@ -20,9 +29,25 @@ namespace aero {
 struct RunBudget {
     /** Wall-clock limit in seconds; <= 0 means unlimited. */
     double max_seconds = 0;
-    /** How often (in events) to poll the clock. */
+    /** Cap on the checker's reported memory_bytes(), polled at
+     *  check_interval; 0 means uncapped. A breach ends the run with
+     *  RunStatus::kInternalError rather than an OOM kill. */
+    uint64_t max_memory_bytes = 0;
+    /** How often (in events) to poll the clock / memory. */
     uint64_t check_interval = 65536;
 };
+
+/** How a run ended. Ordered by reporting priority (status() below). */
+enum class RunStatus : uint8_t {
+    kOk = 0,
+    kViolation,     ///< definitive: a real violation was found
+    kTimeout,       ///< budget expired mid-trace
+    kDegraded,      ///< finished, but a recovery path lost exactness
+    kStreamError,   ///< corrupt input ended the run (strict mode)
+    kInternalError, ///< contained panic / resource cap; result unusable
+};
+
+const char* run_status_name(RunStatus status);
 
 /** Outcome of streaming one trace through one checker. */
 struct RunResult {
@@ -30,6 +55,20 @@ struct RunResult {
     bool violation = false;
     /** True if the budget expired before the trace was exhausted. */
     bool timed_out = false;
+    /** True when a robustness path (worker recovery, resync, window
+     *  loss) completed the run without an exactness guarantee: a
+     *  reported violation is still real, but "no violation" is no longer
+     *  a proof. degraded_reason says why. */
+    bool degraded = false;
+    std::string degraded_reason;
+    /** Structured cause when corrupt input ended the run (strict mode). */
+    std::optional<StreamError> stream_error;
+    /** Corrupt records skipped by a resync-mode source (degrades the
+     *  verdict without ending the run). */
+    uint64_t stream_errors_recovered = 0;
+    /** Contained internal failure (panic routed through
+     *  throwing_panic_handler, memory-cap breach). */
+    std::string internal_error;
     /** Events consumed (including the violating event, if any). */
     uint64_t events_processed = 0;
     /** Wall-clock seconds spent inside the checker loop. */
@@ -39,6 +78,28 @@ struct RunResult {
     /** The checker's named statistic counters, captured after the run
      *  (epoch hits, inflations, joins, ... — see counters()). */
     StatList counters;
+
+    /**
+     * Collapse the flags into one status. A found violation dominates
+     * everything (it is definitive evidence no failure can retract);
+     * then the reasons the run is *not* a proof of serializability, most
+     * specific first.
+     */
+    RunStatus
+    status() const
+    {
+        if (violation)
+            return RunStatus::kViolation;
+        if (!internal_error.empty())
+            return RunStatus::kInternalError;
+        if (stream_error)
+            return RunStatus::kStreamError;
+        if (timed_out)
+            return RunStatus::kTimeout;
+        if (degraded || stream_errors_recovered > 0)
+            return RunStatus::kDegraded;
+        return RunStatus::kOk;
+    }
 
     /** Paper-style verdict cell: "x" (violation) / "ok" / "TO". */
     const char*
@@ -50,6 +111,12 @@ struct RunResult {
     }
 };
 
+/** True when pre-sizing engine state for these dimensions is sane: the
+ *  products an arena-backed engine allocates for stay modest. Corrupt
+ *  headers can otherwise turn reserve() into a multi-GB allocation; an
+ *  engine that is never pre-sized simply grows on demand. */
+bool reserve_hint_sane(uint32_t threads, uint32_t vars, uint32_t locks);
+
 /** Stream `trace` through `checker` under `budget`. */
 RunResult run_checker(AtomicityChecker& checker, const Trace& trace,
                       const RunBudget& budget = {});
@@ -58,7 +125,9 @@ class EventSource;
 
 /**
  * Pull events from `source` through `checker` under `budget` — the
- * constant-memory path for logs too large to materialize.
+ * constant-memory path for logs too large to materialize. Strict-mode
+ * stream corruption and contained panics end the run with the matching
+ * RunStatus instead of propagating.
  */
 RunResult run_checker_stream(AtomicityChecker& checker, EventSource& source,
                              const RunBudget& budget = {});

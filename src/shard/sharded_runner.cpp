@@ -17,6 +17,7 @@
 
 #include "shard/spsc_queue.hpp"
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/stopwatch.hpp"
 #include "trace/stream.hpp"
 
@@ -24,7 +25,10 @@ namespace aero {
 namespace {
 
 /** One queue slot: an event tagged with its global index, or a control
- *  marker (merge barrier / end of stream). */
+ *  marker (merge barrier / end of stream). A kMerge marker's `index`
+ *  carries the merge generation it completes, so the barrier can ignore
+ *  arrivals for generations that already completed without this lane
+ *  (possible only across an eviction/re-admission). */
 struct ShardItem {
     enum Kind : uint8_t { kEvent = 0, kMerge = 1, kEof = 2 };
 
@@ -33,44 +37,124 @@ struct ShardItem {
     uint8_t kind = kEvent;
 };
 
+/** Worker pop slice: long enough to stay off the fast path, short enough
+ *  that an evicted worker notices `failed` and exits promptly. */
+constexpr uint64_t kPopSliceUs = 50 * 1000;
+/** Reader push slice while the watchdog is active: the cadence at which
+ *  a blocked reader re-runs the health sweep. */
+constexpr uint64_t kPushSliceUs = 20 * 1000;
+
 /** Per-shard state shared by both drivers. */
 struct Lane {
     std::unique_ptr<AtomicityChecker> engine;
     std::unique_ptr<SpscQueue<ShardItem>> queue; // threaded driver only
-    std::optional<Violation> violation;          // this lane's first fire
-    uint64_t processed = 0;                      // events fed to the engine
+
+    /** Guards violation and worker_error: a late fire from an evicted
+     *  worker and the recovery replay may race to publish evidence. */
+    std::mutex verdict_mu;
+    std::optional<Violation> violation; // this lane's first fire
+    std::string worker_error;           // contained engine panic, if any
+
+    std::atomic<uint64_t> processed{0}; // events fed to the engine
     /** Highest global index this worker has consumed (UINT64_MAX once the
      *  lane can never fire again) — the window log's pruning horizon.
      *  Single-writer; the reader polls it relaxed. */
     std::atomic<uint64_t> progress{0};
+    /** Bumped once per popped item; the watchdog's liveness signal. */
+    std::atomic<uint64_t> heartbeat{0};
+    /** Set (under the barrier mutex) when the reader evicts this worker;
+     *  cleared on admit of a replacement. The worker must stop touching
+     *  shared state once it observes it. */
+    std::atomic<bool> failed{false};
+    /** Bumped (under the barrier mutex) each time a replacement worker is
+     *  admitted. A worker that survives its own eviction — a stalled
+     *  thread that wakes after `failed` was already cleared for its
+     *  replacement — detects the mismatch against the incarnation it was
+     *  spawned with and exits instead of haunting the retired queue. */
+    std::atomic<uint64_t> incarnation{0};
+    /** Worker is parked inside the merge barrier (healthy by definition:
+     *  parked is progress, not a stall). */
+    std::atomic<bool> at_barrier{false};
+    /** Worker consumed kEof and retired cleanly. */
+    std::atomic<bool> done{false};
+
+    // Reader-owned bookkeeping (never touched by workers).
+    uint32_t recovery_count = 0;
+    bool abandoned = false;
+    bool recovered_final = false; // shutdown-time replay already ran
 };
 
-/** Pointwise-max of every lane's per-thread clocks, pushed back to all:
- *  after a merge each C_t is the best bound any shard has derived. */
+/** Publish a fire into the lane, keeping the earliest evidence — both a
+ *  (possibly already evicted) worker and the recovery replay call this. */
+void
+publish_violation(Lane& lane, std::optional<Violation> v,
+                  std::atomic<uint64_t>& stop_at)
+{
+    if (!v)
+        return;
+    const uint64_t index = v->event_index;
+    {
+        std::lock_guard<std::mutex> lk(lane.verdict_mu);
+        if (!lane.violation || index < lane.violation->event_index)
+            lane.violation = std::move(v);
+    }
+    uint64_t cur = stop_at.load(std::memory_order_relaxed);
+    while (index < cur && !stop_at.compare_exchange_weak(
+                              cur, index, std::memory_order_relaxed)) {
+    }
+}
+
+/** Pointwise-max of every live lane's per-thread clocks, pushed back to
+ *  all of them: after a merge each C_t is the best bound any shard has
+ *  derived. Failed lanes are excluded — their engines may be mid-flight
+ *  on an evicted worker and their state is being reconstructed. */
 class FrontierMerger {
 public:
     void
     merge(std::vector<Lane>& lanes)
     {
-        if (lanes.size() < 2)
+        Lane* first = nullptr;
+        size_t active = 0;
+        for (auto& lane : lanes) {
+            if (lane.failed.load(std::memory_order_relaxed))
+                continue;
+            ++active;
+            if (!first)
+                first = &lane;
+        }
+        if (active < 2)
             return;
-        // Seed with lane 0's export (reset keeps the buffer's capacity)
-        // and join the rest in. After the first merge every engine has
-        // adopted the same thread count, so the exports share dimensions
-        // and join() never takes its reallocating grow path again —
-        // steady-state merges are allocation-free.
-        lanes[0].engine->export_frontier(merged_);
-        for (size_t i = 1; i < lanes.size(); ++i) {
-            lanes[i].engine->export_frontier(scratch_);
+        // Seed with the first live lane's export (reset keeps the
+        // buffer's capacity) and join the rest in. After the first merge
+        // every engine has adopted the same thread count, so the exports
+        // share dimensions and join() never takes its reallocating grow
+        // path again — steady-state merges are allocation-free.
+        first->engine->export_frontier(merged_);
+        for (auto& lane : lanes) {
+            if (&lane == first || lane.failed.load(std::memory_order_relaxed))
+                continue;
+            lane.engine->export_frontier(scratch_);
             merged_.join(scratch_);
         }
-        for (auto& lane : lanes)
-            lane.engine->adopt_frontier(merged_);
+        for (auto& lane : lanes) {
+            if (!lane.failed.load(std::memory_order_relaxed))
+                lane.engine->adopt_frontier(merged_);
+        }
     }
 
 private:
     ClockFrontier merged_;
     ClockFrontier scratch_;
+};
+
+/** One buffered suspect window: the full (unprojected) event run between
+ *  two merges, plus the generation of the merge that opened it. */
+struct ReplayWindow {
+    static constexpr uint64_t kNoGeneration = UINT64_MAX;
+
+    uint64_t generation = kNoGeneration; // merge that started this window
+    uint64_t start = 0;
+    std::vector<ProjectedEvent> events;
 };
 
 /**
@@ -96,11 +180,20 @@ public:
             min_needed_.load(std::memory_order_relaxed);
         seeds_.erase(seeds_.begin(), seeds_.lower_bound(min_needed));
         EngineSeed joined;
-        lanes[0].engine->export_seed(joined);
-        for (size_t i = 1; i < lanes.size(); ++i) {
-            lanes[i].engine->export_seed(scratch_);
-            joined.join(scratch_);
+        bool first = true;
+        for (auto& lane : lanes) {
+            if (lane.failed.load(std::memory_order_relaxed))
+                continue;
+            if (first) {
+                lane.engine->export_seed(joined);
+                first = false;
+            } else {
+                lane.engine->export_seed(scratch_);
+                joined.join(scratch_);
+            }
         }
+        if (first)
+            return; // no live lane to capture from
         seeds_[generation] = std::move(joined);
     }
 
@@ -123,16 +216,6 @@ private:
     std::map<uint64_t, EngineSeed> seeds_;
     EngineSeed scratch_;
     std::atomic<uint64_t> min_needed_{0};
-};
-
-/** One buffered suspect window: the full (unprojected) event run between
- *  two merges, plus the generation of the merge that opened it. */
-struct ReplayWindow {
-    static constexpr uint64_t kNoGeneration = UINT64_MAX;
-
-    uint64_t generation = kNoGeneration; // merge that started this window
-    uint64_t start = 0;
-    std::vector<ProjectedEvent> events;
 };
 
 /**
@@ -209,40 +292,223 @@ private:
 };
 
 /**
+ * Reader-owned event log for worker recovery (watchdog mode only): the
+ * full unprojected stream since the last checkpointed merge, windowed by
+ * merge generation like WindowLog. A replacement engine reseeded from
+ * the checkpoint replays this to reconstruct the dead worker's state.
+ * Bounded by `cap` events: overflow sheds the oldest coverage, and a
+ * recovery that needed the shed span completes degraded instead of
+ * exact.
+ */
+class RecoveryLog {
+public:
+    RecoveryLog(bool enabled, size_t cap)
+        : enabled_(enabled), cap_(cap ? cap : 1)
+    {
+        if (enabled_)
+            windows_.emplace_back();
+    }
+
+    bool enabled() const { return enabled_; }
+    bool complete() const { return !shed_; }
+
+    uint64_t
+    front_generation() const
+    {
+        return windows_.empty() ? ReplayWindow::kNoGeneration
+                                : windows_.front().generation;
+    }
+
+    const std::deque<ReplayWindow>& windows() const { return windows_; }
+
+    void
+    record(const Event& e, uint64_t index)
+    {
+        if (!enabled_)
+            return;
+        windows_.back().events.push_back({e, index});
+        if (++buffered_ > cap_)
+            shed();
+    }
+
+    void
+    rotate(uint64_t generation, uint64_t start)
+    {
+        if (!enabled_)
+            return;
+        ReplayWindow w;
+        w.generation = generation;
+        w.start = start;
+        windows_.push_back(std::move(w));
+    }
+
+    /** Drop windows wholly covered by checkpoint generation `ckpt_gen`
+     *  (replay starts at the checkpoint's own window). */
+    void
+    prune_to(uint64_t ckpt_gen)
+    {
+        if (!enabled_ || ckpt_gen == ReplayWindow::kNoGeneration)
+            return;
+        while (windows_.size() > 1 &&
+               (windows_.front().generation == ReplayWindow::kNoGeneration ||
+                windows_.front().generation < ckpt_gen)) {
+            buffered_ -= windows_.front().events.size();
+            windows_.pop_front();
+        }
+    }
+
+private:
+    void
+    shed()
+    {
+        shed_ = true;
+        if (windows_.size() > 1) {
+            buffered_ -= windows_.front().events.size();
+            windows_.pop_front();
+            return;
+        }
+        auto& events = windows_.front().events;
+        events.erase(events.begin(),
+                     events.begin() +
+                         static_cast<long>(events.size() / 2));
+        buffered_ = events.size();
+    }
+
+    bool enabled_;
+    size_t cap_;
+    uint64_t buffered_ = 0;
+    bool shed_ = false;
+    std::deque<ReplayWindow> windows_;
+};
+
+/** Last merge-barrier checkpoint for worker recovery: the joined seed of
+ *  every live engine, captured while the barrier mutex holds all of them
+ *  quiescent. The reader reads it (under mu) when reseeding a
+ *  replacement engine. */
+struct RecoveryCheckpoint {
+    std::mutex mu;
+    bool has = false;
+    uint64_t generation = ReplayWindow::kNoGeneration;
+    EngineSeed seed;
+    EngineSeed scratch;
+};
+
+/**
  * Generation barrier for the threaded driver. Workers arrive when they
  * pop a kMerge marker; the last arriver — while every other active
  * worker is parked in wait() and every retired worker has left its
  * engine quiescent behind the same mutex — performs the frontier merge
  * (and, in replay mode, captures the joined engine seed), then releases
  * the generation. retire() removes a finished worker from the head count
- * (and completes a merge it was the last straggler of).
+ * (and completes a merge it was the last straggler of). evict()/admit()
+ * are the reader-side recovery hooks: eviction removes a sick worker
+ * from the head count mid-generation, admission re-adds its replacement
+ * and reports how many generations of markers the replacement still owes
+ * an arrival for.
  */
 class MergeBarrier {
 public:
-    MergeBarrier(std::vector<Lane>& lanes, uint64_t& merges, SeedLog& seeds)
-        : lanes_(lanes), merges_(merges), seeds_(seeds),
+    MergeBarrier(std::vector<Lane>& lanes, uint64_t& merges, SeedLog& seeds,
+                 RecoveryCheckpoint* ckpt)
+        : lanes_(lanes), merges_(merges), seeds_(seeds), ckpt_(ckpt),
           active_(lanes.size())
     {}
 
     void
-    arrive()
+    arrive(uint32_t shard, uint64_t incarnation, uint64_t marker_gen)
     {
+        Lane& lane = lanes_[shard];
         std::unique_lock<std::mutex> lk(mu_);
-        const uint64_t gen = generation_;
+        if (lane.failed.load(std::memory_order_relaxed) ||
+            lane.incarnation.load(std::memory_order_relaxed) != incarnation) {
+            return; // evicted (or replaced) while this marker was queued
+        }
+        const uint64_t gen = generation_.load(std::memory_order_relaxed);
+        if (marker_gen < gen) {
+            // This generation already completed without us: the lane was
+            // evicted while parked-out peers finished it solo, and the
+            // marker was redelivered to the replacement. Counting it now
+            // would let a later merge run while this worker is mid-event.
+            return;
+        }
+        lane.at_barrier.store(true, std::memory_order_relaxed);
         if (++arrived_ == active_) {
             run_merge();
+            lane.at_barrier.store(false, std::memory_order_relaxed);
             lk.unlock();
             cv_.notify_all();
             return;
         }
-        cv_.wait(lk, [&] { return generation_ != gen; });
+        cv_.wait(lk, [&] {
+            return generation_.load(std::memory_order_relaxed) != gen;
+        });
+        lane.at_barrier.store(false, std::memory_order_relaxed);
     }
 
     void
-    retire()
+    retire(uint32_t shard, uint64_t incarnation)
     {
         std::unique_lock<std::mutex> lk(mu_);
+        Lane& lane = lanes_[shard];
+        if (lane.failed.load(std::memory_order_relaxed) ||
+            lane.incarnation.load(std::memory_order_relaxed) != incarnation) {
+            return; // eviction already adjusted the head count
+        }
         --active_;
+        maybe_complete(lk);
+    }
+
+    /** Reader: remove a sick worker from the head count. Refuses lanes
+     *  that are parked at the barrier (parked is healthy), already done,
+     *  or already failed. @return true when the lane was evicted. */
+    bool
+    evict(uint32_t shard)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        Lane& lane = lanes_[shard];
+        if (lane.failed.load(std::memory_order_relaxed) ||
+            lane.done.load(std::memory_order_relaxed) ||
+            lane.at_barrier.load(std::memory_order_relaxed))
+            return false;
+        lane.failed.store(true, std::memory_order_release);
+        --active_;
+        maybe_complete(lk);
+        return true;
+    }
+
+    /** Reader: re-admit an evicted lane with a replacement worker.
+     *  @return how many merge generations the replacement still owes an
+     *  arrival for (`issued` markers delivered to this lane so far minus
+     *  generations completed). While the evicted lane was out, its peers
+     *  may have completed generations solo — even past `issued`, when
+     *  the reader was evicting mid-marker-distribution — so the
+     *  difference is clamped at zero. Once admitted, the generation
+     *  counter cannot advance until the replacement arrives, so the
+     *  answer stays exact from here on. */
+    uint64_t
+    admit(uint32_t shard, uint64_t issued)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        // Retire the evicted incarnation before clearing `failed`: a
+        // stalled predecessor that wakes later must see either the flag
+        // or the bump, never a healthy-looking lane it no longer owns.
+        lanes_[shard].incarnation.fetch_add(1, std::memory_order_release);
+        lanes_[shard].failed.store(false, std::memory_order_release);
+        ++active_;
+        const uint64_t gen = generation_.load(std::memory_order_relaxed);
+        return gen >= issued ? 0 : issued - gen;
+    }
+
+    uint64_t
+    completed_generations() const
+    {
+        return generation_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void
+    maybe_complete(std::unique_lock<std::mutex>& lk) // caller holds mu_
+    {
         if (active_ > 0 && arrived_ == active_) {
             run_merge();
             lk.unlock();
@@ -250,26 +516,51 @@ public:
         }
     }
 
-private:
     void
     run_merge() // caller holds mu_
     {
         merger_.merge(lanes_);
-        seeds_.capture(lanes_, generation_);
+        const uint64_t gen = generation_.load(std::memory_order_relaxed);
+        seeds_.capture(lanes_, gen);
+        if (ckpt_)
+            capture_checkpoint(gen);
         ++merges_;
         arrived_ = 0;
-        ++generation_;
+        generation_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    capture_checkpoint(uint64_t gen) // caller holds mu_
+    {
+        std::lock_guard<std::mutex> clk(ckpt_->mu);
+        bool first = true;
+        for (auto& lane : lanes_) {
+            if (lane.failed.load(std::memory_order_relaxed))
+                continue;
+            if (first) {
+                lane.engine->export_seed(ckpt_->seed);
+                first = false;
+            } else {
+                lane.engine->export_seed(ckpt_->scratch);
+                ckpt_->seed.join(ckpt_->scratch);
+            }
+        }
+        if (first)
+            return; // every lane failed: keep the previous checkpoint
+        ckpt_->has = true;
+        ckpt_->generation = gen;
     }
 
     std::vector<Lane>& lanes_;
     uint64_t& merges_;
     SeedLog& seeds_;
+    RecoveryCheckpoint* ckpt_;
     FrontierMerger merger_;
     std::mutex mu_;
     std::condition_variable cv_;
     size_t active_;
     size_t arrived_ = 0;
-    uint64_t generation_ = 0;
+    std::atomic<uint64_t> generation_{0};
 };
 
 /** Pin the calling thread to one core (ShardOptions::pin_workers).
@@ -292,25 +583,90 @@ pin_to_core(uint32_t core)
  * fires or the global violation horizon passes them by. A fired lane
  * keeps draining (and keeps arriving at merge barriers) so the pipeline
  * never stalls; its engine is simply not fed again.
+ *
+ * Queue and engine are raw pointers captured at spawn: after an
+ * eviction the reader replaces `lane.engine`/`lane.queue`, and the old
+ * worker — possibly still mid-process() — must keep using the retired
+ * instances (kept alive in a graveyard) until it observes `failed` and
+ * exits. An engine that throws (contained panic via
+ * throwing_panic_handler, or any std::exception) poisons the lane:
+ * the error is recorded and the worker degrades to draining.
  */
 void
-worker_loop(Lane& lane, MergeBarrier& barrier,
-            std::atomic<uint64_t>& stop_at, int pin_core)
+worker_loop(Lane& lane, SpscQueue<ShardItem>* queue,
+            AtomicityChecker* engine, MergeBarrier& barrier,
+            std::atomic<uint64_t>& stop_at, uint32_t shard, int pin_core,
+            uint64_t my_incarnation)
 {
     if (pin_core >= 0)
         pin_to_core(static_cast<uint32_t>(pin_core));
+    PanicContextScope panic_scope(shard);
+    // Evicted, or (if this worker outlived its own eviction — e.g. a
+    // stall that ended after a replacement was admitted) superseded.
+    auto deposed = [&] {
+        return lane.failed.load(std::memory_order_acquire) ||
+               lane.incarnation.load(std::memory_order_acquire) !=
+                   my_incarnation;
+    };
+    bool fired;
+    {
+        std::lock_guard<std::mutex> lk(lane.verdict_mu);
+        fired = lane.violation.has_value(); // replacement after a replay fire
+    }
+    bool poisoned = false;
     for (;;) {
-        ShardItem it = lane.queue->pop();
+        ShardItem it;
+        while (!queue->pop_wait(it, kPopSliceUs)) {
+            if (deposed())
+                return; // evicted while idle
+        }
+        if (deposed())
+            return; // a replacement owns the lane now
+        lane.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        if (FaultInjector::instance().armed_for(FaultSite::kWorker)) {
+            switch (FaultInjector::instance().worker_action(shard)) {
+              case FaultKind::kWorkerKill:
+                return; // simulated death: no retire, no progress update
+              case FaultKind::kWorkerStall: {
+                // Stop making progress until evicted; bounded by the
+                // plan's duration cap so a watchdog-less run still ends.
+                const uint64_t cap_ms =
+                    FaultInjector::instance().plan().duration
+                        ? FaultInjector::instance().plan().duration
+                        : 30000;
+                for (uint64_t ms = 0; ms < cap_ms; ++ms) {
+                    if (deposed())
+                        return;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+                break; // cap expired un-evicted: resume processing
+              }
+              case FaultKind::kWorkerDelay: {
+                const uint64_t ms =
+                    FaultInjector::instance().plan().duration
+                        ? FaultInjector::instance().plan().duration
+                        : 10;
+                std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+                break;
+              }
+              default:
+                break;
+            }
+            if (deposed())
+                return;
+        }
         if (it.kind == ShardItem::kEof) {
             lane.progress.store(UINT64_MAX, std::memory_order_relaxed);
-            barrier.retire();
+            lane.done.store(true, std::memory_order_release);
+            barrier.retire(shard, my_incarnation);
             return;
         }
         if (it.kind == ShardItem::kMerge) {
-            barrier.arrive();
+            barrier.arrive(shard, my_incarnation, it.index);
             continue;
         }
-        if (lane.violation)
+        if (fired || poisoned)
             continue; // progress stays pinned at UINT64_MAX
         lane.progress.store(it.index, std::memory_order_relaxed);
         // Events past the earliest known violation can never win the
@@ -318,14 +674,24 @@ worker_loop(Lane& lane, MergeBarrier& barrier,
         // (stop_at only ever decreases, and never below the winner).
         if (it.index > stop_at.load(std::memory_order_relaxed))
             continue;
-        ++lane.processed;
-        if (lane.engine->process(it.event, it.index)) {
-            lane.violation = lane.engine->violation();
-            uint64_t cur = stop_at.load(std::memory_order_relaxed);
-            while (it.index < cur &&
-                   !stop_at.compare_exchange_weak(
-                       cur, it.index, std::memory_order_relaxed)) {
+        lane.processed.fetch_add(1, std::memory_order_relaxed);
+        panic_scope.set_index(it.index);
+        bool fire = false;
+        try {
+            fire = engine->process(it.event, it.index);
+        } catch (const std::exception& ex) {
+            {
+                std::lock_guard<std::mutex> lk(lane.verdict_mu);
+                if (lane.worker_error.empty())
+                    lane.worker_error = ex.what();
             }
+            poisoned = true;
+            lane.progress.store(UINT64_MAX, std::memory_order_release);
+            continue; // keep draining so the pipeline never stalls
+        }
+        if (fire) {
+            fired = true;
+            publish_violation(lane, engine->violation(), stop_at);
             // Publish stop_at strictly before the progress sentinel: the
             // reader prunes replay windows by (progress horizon,
             // suspect minimum), and must never observe a fired lane's
@@ -370,6 +736,8 @@ void
 reserve_lanes(std::vector<Lane>& lanes, uint32_t threads, uint32_t vars,
               uint32_t locks)
 {
+    if (!reserve_hint_sane(threads, vars, locks))
+        return; // untrusted header dimensions: grow on demand instead
     for (auto& lane : lanes)
         lane.engine->reserve(threads, vars, locks);
 }
@@ -482,10 +850,19 @@ join_verdicts(const EngineFactory& factory, std::vector<Lane>& lanes,
         r.events_processed = events_routed;
     }
 
-    for (auto& lane : lanes) {
-        out.shard_counters.push_back(lane.engine->counters());
-        out.shard_events.push_back(lane.processed);
-        uint64_t bytes = lane.engine->memory_bytes();
+    for (uint32_t s = 0; s < lanes.size(); ++s) {
+        Lane& lane = lanes[s];
+        if (!lane.worker_error.empty()) {
+            if (!r.internal_error.empty())
+                r.internal_error += "; ";
+            r.internal_error += "shard " + std::to_string(s) +
+                                " engine failed: " + lane.worker_error;
+        }
+        out.shard_counters.push_back(lane.engine ? lane.engine->counters()
+                                                 : StatList{});
+        out.shard_events.push_back(
+            lane.processed.load(std::memory_order_relaxed));
+        uint64_t bytes = lane.engine ? lane.engine->memory_bytes() : 0;
         if (lane.queue)
             bytes += (lane.queue->capacity() + 1) * sizeof(ShardItem);
         out.shard_memory_bytes.push_back(bytes);
@@ -528,42 +905,393 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                                          /*with_queues=*/true,
                                          opts.queue_capacity);
 
-    uint32_t threads = 0, vars = 0, locks = 0;
-    if (source.dimensions(threads, vars, locks))
-        reserve_lanes(lanes, threads, vars, locks);
+    uint32_t dim_threads = 0, dim_vars = 0, dim_locks = 0;
+    const bool have_dims =
+        source.dimensions(dim_threads, dim_vars, dim_locks);
+    if (have_dims)
+        reserve_lanes(lanes, dim_threads, dim_vars, dim_locks);
+
+    // Worker-fault injection must be able to kill a worker outright; a
+    // hang is never an acceptable outcome, so arm a default watchdog
+    // when the fault plan targets workers and none was configured.
+    uint32_t watchdog_ms = opts.watchdog_ms;
+    if (watchdog_ms == 0 &&
+        FaultInjector::instance().armed_for(FaultSite::kWorker))
+        watchdog_ms = 1000;
+    const bool recovery_on = watchdog_ms > 0 && opts.max_recoveries > 0;
 
     ShardRunResult out;
     out.shards = shards;
     SeedLog seeds(replay_active(opts, shards));
     WindowLog windows(replay_active(opts, shards));
-    MergeBarrier barrier(lanes, out.frontier_merges, seeds);
+    RecoveryCheckpoint ckpt;
+    RecoveryLog recovery_log(recovery_on, opts.recovery_buffer_cap);
+    MergeBarrier barrier(lanes, out.frontier_merges, seeds,
+                         recovery_on ? &ckpt : nullptr);
     MergePlanner planner(router, shards > 1 ? opts.merge_epoch : 0,
                          opts.divergence_barriers,
                          lanes[0].engine->uses_live_clock_proxies());
     std::atomic<uint64_t> stop_at{UINT64_MAX};
 
+    // Retired engines/queues stay alive until every worker thread has
+    // joined: an evicted worker may be mid-process() on them.
+    std::vector<std::unique_ptr<AtomicityChecker>> retired_engines;
+    std::vector<std::unique_ptr<SpscQueue<ShardItem>>> retired_queues;
+
     const unsigned cores = std::thread::hardware_concurrency();
     std::vector<std::thread> workers;
     workers.reserve(shards);
-    for (uint32_t s = 0; s < shards; ++s) {
+    auto spawn_worker = [&](uint32_t s) {
         const int pin_core =
             opts.pin_workers && cores > 0 ? static_cast<int>(s % cores) : -1;
         workers.emplace_back(worker_loop, std::ref(lanes[s]),
-                             std::ref(barrier), std::ref(stop_at), pin_core);
-    }
+                             lanes[s].queue.get(), lanes[s].engine.get(),
+                             std::ref(barrier), std::ref(stop_at), s,
+                             pin_core,
+                             lanes[s].incarnation.load(
+                                 std::memory_order_relaxed));
+    };
+    for (uint32_t s = 0; s < shards; ++s)
+        spawn_worker(s);
 
     Stopwatch watch;
     const bool limited = opts.budget.max_seconds > 0;
     uint64_t index = 0;
-    uint64_t merge_generation = 0;
+    uint64_t merge_generation = 0; // kMerge marker sets issued so far
 
+    auto degrade = [&](const std::string& reason) {
+        out.result.degraded = true;
+        if (!out.result.degraded_reason.empty())
+            out.result.degraded_reason += "; ";
+        out.result.degraded_reason += reason;
+    };
+
+    /**
+     * The item the reader is currently blocked pushing, if a recovery is
+     * triggered from inside push_item. The recovery replay must know
+     * about it: the push retries into the replacement's queue after the
+     * sweep, so lanes at or past the blocked destination must not also
+     * replay it (they would process it twice), while a marker already
+     * delivered to an earlier lane's (now discarded) queue is one more
+     * generation that lane's replacement owes.
+     */
+    struct InFlight {
+        bool have = false;
+        uint32_t shard = 0; // blocked destination
+        uint64_t index = 0;
+        uint8_t kind = ShardItem::kEvent;
+    } inflight;
+
+    /**
+     * Replace (or, past max_recoveries, abandon) an already-evicted
+     * lane. Builds a fresh engine, reseeds it from the last checkpoint,
+     * replays the buffered window — inline up to the first merge
+     * generation the barrier still owes, through the new queue (with the
+     * owed kMerge markers interleaved at window boundaries) beyond it —
+     * and re-admits the lane. With spawn=false (shutdown) everything
+     * replays inline and the lane stays evicted.
+     */
+    auto recover_lane = [&](uint32_t s, bool spawn) {
+        Lane& lane = lanes[s];
+        retired_engines.push_back(std::move(lane.engine));
+        retired_queues.push_back(std::move(lane.queue));
+        if (!recovery_on || lane.recovery_count >= opts.max_recoveries) {
+            lane.abandoned = true;
+            ++out.shards_abandoned;
+            degrade("shard " + std::to_string(s) +
+                    " abandoned after repeated worker failure");
+            return;
+        }
+        ++lane.recovery_count;
+        ++out.recoveries;
+
+        std::unique_ptr<AtomicityChecker> engine = factory();
+        if (have_dims && reserve_hint_sane(dim_threads, dim_vars, dim_locks))
+            engine->reserve(dim_threads, dim_vars, dim_locks);
+        uint64_t ckpt_gen = ReplayWindow::kNoGeneration;
+        {
+            std::lock_guard<std::mutex> lk(ckpt.mu);
+            if (ckpt.has) {
+                engine->reseed(ckpt.seed);
+                ckpt_gen = ckpt.generation;
+            }
+        }
+        recovery_log.prune_to(ckpt_gen);
+
+        // Admission (spawn mode) freezes the barrier's generation counter
+        // — the replacement is active but has not arrived — so the split
+        // between inline replay and queued replay stays exact. Markers
+        // this lane's discarded queue already held count toward `issued`:
+        // merge_generation lags by one while the reader is still blocked
+        // distributing a marker this lane received before the eviction.
+        uint64_t owed = 0;
+        if (spawn) {
+            uint64_t issued_hi = merge_generation;
+            if (inflight.have && inflight.kind == ShardItem::kMerge &&
+                s < inflight.shard)
+                ++issued_hi;
+            owed = barrier.admit(s, issued_hi);
+        }
+        const uint64_t completed = barrier.completed_generations();
+
+        bool exact = ckpt_gen == ReplayWindow::kNoGeneration &&
+                     completed == 0 && recovery_log.complete() &&
+                     recovery_log.front_generation() ==
+                         ReplayWindow::kNoGeneration;
+        if (ckpt_gen != ReplayWindow::kNoGeneration &&
+            recovery_log.front_generation() != ckpt_gen)
+            degrade("shard " + std::to_string(s) +
+                    " recovery window was shed before replay");
+
+        // Phase 1: inline replay of the windows every live lane has
+        // already merged past ([checkpoint, completed)) — and, at
+        // shutdown, of everything — into the not-yet-shared engine.
+        bool replay_failed = false;
+        std::string replay_error;
+        {
+            PanicContextScope replay_scope(s);
+            try {
+                for (const ReplayWindow& w : recovery_log.windows()) {
+                    if (spawn &&
+                        w.generation != ReplayWindow::kNoGeneration &&
+                        w.generation >= completed)
+                        break; // queued behind the owed markers below
+                    for (const ProjectedEvent& pe : w.events) {
+                        const uint32_t dst = router.shard_of(pe.event);
+                        if (dst != s && dst != ShardRouter::kBroadcast)
+                            continue;
+                        // The blocked push delivers this event to the
+                        // replacement's queue itself once the sweep
+                        // returns; replaying it too would feed it twice.
+                        if (inflight.have &&
+                            inflight.kind == ShardItem::kEvent &&
+                            pe.index == inflight.index &&
+                            s >= inflight.shard)
+                            continue;
+                        if (pe.index >
+                            stop_at.load(std::memory_order_relaxed))
+                            continue;
+                        replay_scope.set_index(pe.index);
+                        lane.processed.fetch_add(
+                            1, std::memory_order_relaxed);
+                        if (engine->process(pe.event, pe.index)) {
+                            publish_violation(lane, engine->violation(),
+                                              stop_at);
+                            break; // fired: stop feeding this engine
+                        }
+                    }
+                }
+            } catch (const std::exception& ex) {
+                replay_failed = true;
+                replay_error = ex.what();
+            }
+        }
+        if (replay_failed) {
+            if (spawn)
+                barrier.evict(s); // undo the admission: lane is lost
+            lane.abandoned = true;
+            ++out.shards_abandoned;
+            {
+                std::lock_guard<std::mutex> lk(lane.verdict_mu);
+                if (lane.worker_error.empty())
+                    lane.worker_error = "recovery replay failed: " +
+                                        replay_error;
+            }
+            degrade("shard " + std::to_string(s) +
+                    " abandoned: recovery replay failed");
+            return;
+        }
+        if (!spawn)
+            exact = exact &&
+                    barrier.completed_generations() == completed;
+        if (!exact)
+            degrade("shard " + std::to_string(s) +
+                    " recovered from a merge checkpoint (verdict no "
+                    "longer exact)");
+
+        lane.engine = std::move(engine);
+        if (!spawn) {
+            lane.recovered_final = true;
+            return;
+        }
+
+        // Phase 2: spawn the replacement *first*, then stream the owed
+        // generations [completed, completed + owed) through its queue —
+        // each generation's kMerge marker (tagged, so the barrier can
+        // drop it if stale) followed by that generation's buffered
+        // window. The backlog can exceed the queue's capacity — a dead
+        // worker leaves at least one full retired ring behind — so the
+        // consumer must already be draining while we push. A generation
+        // whose window is missing still gets its marker (the barrier's
+        // head count needs the arrival): missing past the newest window
+        // means no events followed that merge yet; missing before it
+        // means the window was shed, which recovery_log.complete()
+        // already downgraded.
+        lane.queue =
+            std::make_unique<SpscQueue<ShardItem>>(opts.queue_capacity);
+        lane.heartbeat.store(0, std::memory_order_relaxed);
+        spawn_worker(s);
+        SpscQueue<ShardItem>* q = lane.queue.get();
+        auto wit = recovery_log.windows().begin();
+        const auto wend = recovery_log.windows().end();
+        for (uint64_t g = completed; g < completed + owed; ++g) {
+            ShardItem m;
+            m.kind = ShardItem::kMerge;
+            m.index = g;
+            q->push(m);
+            while (wit != wend &&
+                   (wit->generation == ReplayWindow::kNoGeneration ||
+                    wit->generation < g))
+                ++wit;
+            if (wit == wend || wit->generation != g) {
+                // g >= merge_generation: that marker's window was never
+                // opened (the reader is blocked mid-distribution on it),
+                // so there are no events to miss.
+                if (g < merge_generation && exact) {
+                    exact = false;
+                    degrade("shard " + std::to_string(s) +
+                            " recovery window was incomplete");
+                }
+                continue;
+            }
+            for (const ProjectedEvent& pe : wit->events) {
+                const uint32_t dst = router.shard_of(pe.event);
+                if (dst != s && dst != ShardRouter::kBroadcast)
+                    continue;
+                if (inflight.have &&
+                    inflight.kind == ShardItem::kEvent &&
+                    pe.index == inflight.index && s >= inflight.shard)
+                    continue; // the blocked push redelivers it
+                ShardItem it;
+                it.event = pe.event;
+                it.index = pe.index;
+                it.kind = ShardItem::kEvent;
+                q->push(it);
+            }
+        }
+    };
+
+    // Watchdog state: one (heartbeat snapshot, stopwatch) per lane.
+    struct WatchState {
+        uint64_t hb_seen = 0;
+        Stopwatch since;
+        bool tracking = false;
+    };
+    std::vector<WatchState> watch_state(shards);
+    bool in_sweep = false;
+
+    /**
+     * Health sweep (reader thread): a lane is sick when its heartbeat
+     * has been frozen past the deadline while it is not parked at a
+     * barrier, not done — and has work it is refusing: a non-empty
+     * queue, a merge generation the barrier is waiting on, or (while
+     * draining) an unconsumed kEof.
+     */
+    auto watchdog_sweep = [&](bool draining) {
+        if (watchdog_ms == 0 || in_sweep)
+            return;
+        in_sweep = true;
+        for (uint32_t s = 0; s < shards; ++s) {
+            Lane& lane = lanes[s];
+            WatchState& ws = watch_state[s];
+            if (lane.abandoned || !lane.queue ||
+                lane.done.load(std::memory_order_relaxed) ||
+                lane.failed.load(std::memory_order_relaxed) ||
+                lane.at_barrier.load(std::memory_order_relaxed)) {
+                ws.tracking = false;
+                continue;
+            }
+            const bool owes_work =
+                draining || lane.queue->size_approx() > 0 ||
+                merge_generation > barrier.completed_generations();
+            if (!owes_work) {
+                ws.tracking = false;
+                continue;
+            }
+            const uint64_t hb =
+                lane.heartbeat.load(std::memory_order_relaxed);
+            if (!ws.tracking || hb != ws.hb_seen) {
+                ws.tracking = true;
+                ws.hb_seen = hb;
+                ws.since.reset();
+                continue;
+            }
+            if (ws.since.elapsed_seconds() * 1000.0 < watchdog_ms)
+                continue;
+            ws.tracking = false;
+            if (barrier.evict(s))
+                recover_lane(s, /*spawn=*/!draining);
+        }
+        in_sweep = false;
+    };
+
+    const uint64_t push_slice = watchdog_ms > 0 ? kPushSliceUs : 0;
+    const bool ring_faults =
+        FaultInjector::instance().armed_for(FaultSite::kRingPush);
+
+    /** Route one item to shard `s`, sweeping for sick workers whenever
+     *  the push blocks past a slice. Abandoned shards drop events. */
+    auto push_item = [&](uint32_t s, const ShardItem& it) {
+        for (;;) {
+            Lane& lane = lanes[s];
+            if (lane.abandoned || !lane.queue) {
+                if (it.kind == ShardItem::kEvent)
+                    ++out.events_dropped;
+                return;
+            }
+            if (ring_faults && FaultInjector::instance().ring_full(s)) {
+                // Simulated full ring: behave exactly like a failed
+                // try_push — back off briefly, then retry.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                continue;
+            }
+            if (lane.queue->push_wait(it, push_slice))
+                return;
+            inflight = {true, s, it.index, it.kind};
+            watchdog_sweep(/*draining=*/false);
+            inflight.have = false;
+        }
+    };
+
+    auto route = [&](const ShardItem& it, uint32_t dst) {
+        if (dst == ShardRouter::kBroadcast) {
+            for (uint32_t s = 0; s < shards; ++s)
+                push_item(s, it);
+        } else {
+            push_item(dst, it);
+        }
+    };
+
+    /** Orderly pipeline drain: kEof to every live lane, then wait (still
+     *  sweeping — a worker may die holding the eof) for each lane to
+     *  settle, then join every thread ever spawned. */
     auto shut_down = [&] {
         ShardItem eof;
         eof.kind = ShardItem::kEof;
-        for (auto& lane : lanes)
-            lane.queue->push(eof);
+        for (uint32_t s = 0; s < shards; ++s)
+            push_item(s, eof);
+        for (uint32_t s = 0; s < shards; ++s) {
+            Lane& lane = lanes[s];
+            while (!lane.abandoned && !lane.recovered_final &&
+                   !lane.done.load(std::memory_order_acquire) &&
+                   !(lane.failed.load(std::memory_order_acquire) &&
+                     !recovery_on)) {
+                watchdog_sweep(/*draining=*/true);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+        }
         for (auto& w : workers)
             w.join();
+        // Lanes evicted at the very end (or by a watchdog-less fault
+        // plan) still need their window replayed for the verdict join.
+        for (uint32_t s = 0; s < shards; ++s) {
+            Lane& lane = lanes[s];
+            if (lane.failed.load(std::memory_order_relaxed) &&
+                !lane.abandoned && !lane.recovered_final)
+                recover_lane(s, /*spawn=*/false);
+        }
     };
 
     try {
@@ -583,9 +1311,17 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                 // each barrier generation is complete once issued.
                 ShardItem m;
                 m.kind = ShardItem::kMerge;
-                for (auto& lane : lanes)
-                    lane.queue->push(m);
-                windows.rotate(merge_generation++, index);
+                m.index = merge_generation; // the generation it completes
+                for (uint32_t s = 0; s < shards; ++s)
+                    push_item(s, m);
+                windows.rotate(merge_generation, index);
+                recovery_log.rotate(merge_generation, index);
+                ++merge_generation;
+                {
+                    std::lock_guard<std::mutex> lk(ckpt.mu);
+                    if (ckpt.has)
+                        recovery_log.prune_to(ckpt.generation);
+                }
                 // Horizon first, suspect minimum second: the acquire in
                 // min_progress orders any fired lane's stop_at update
                 // before this load.
@@ -595,25 +1331,28 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                               seeds);
             }
             windows.record(e, index);
+            recovery_log.record(e, index);
             ShardItem it;
             it.event = e;
             it.index = index;
             it.kind = ShardItem::kEvent;
-            const uint32_t dst = router.shard_of(e);
-            if (dst == ShardRouter::kBroadcast) {
-                for (auto& lane : lanes)
-                    lane.queue->push(it);
-            } else {
-                lanes[dst].queue->push(it);
-            }
+            route(it, router.shard_of(e));
             ++index;
+            if (watchdog_ms > 0 && (index & 0x3ff) == 0)
+                watchdog_sweep(/*draining=*/false);
         }
+    } catch (const StreamCorruption& ex) {
+        // Corrupt input is a structured outcome, not an unwind: record
+        // it, drain the pipeline, and join verdicts over the events that
+        // did decode.
+        out.result.stream_error = ex.error();
     } catch (...) {
-        shut_down(); // corrupt input mid-stream: unwind the pipeline first
+        shut_down(); // unexpected failure: unwind the pipeline first
         throw;
     }
     shut_down();
 
+    out.result.stream_errors_recovered = source.recovered_error_count();
     out.barrier_merges = planner.barrier_merges();
     join_verdicts(factory, lanes, windows, seeds, out, index);
     out.result.seconds = watch.elapsed_seconds();
@@ -651,6 +1390,8 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
     uint64_t merge_generation = 0;
     std::vector<std::vector<ProjectedEvent>> pending(shards);
 
+    PanicContextScope panic_scope;
+
     // Between two merges the lanes share no state, so processing each
     // lane's pending slice in turn is observably identical to the
     // threaded driver's arbitrary interleaving.
@@ -660,7 +1401,8 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
             for (const ProjectedEvent& pe : pending[s]) {
                 if (lane.violation || pe.index > stop_at)
                     continue;
-                ++lane.processed;
+                lane.processed.fetch_add(1, std::memory_order_relaxed);
+                panic_scope.set_index(pe.index);
                 if (lane.engine->process(pe.event, pe.index)) {
                     lane.violation = lane.engine->violation();
                     if (pe.index < stop_at)

@@ -43,6 +43,20 @@
  *     identical semantics (lanes share no state between merges, so the
  *     interleaving is immaterial) — used by differential tests and as a
  *     reference for the threaded pipeline.
+ *
+ * Failure model (src/shard/README.md, "Failure model"): with
+ * `watchdog_ms` set, the reader doubles as a watchdog. A worker whose
+ * heartbeat freezes past the deadline while it has work queued (and is
+ * not parked at a merge barrier) is marked failed, evicted from the
+ * merge barrier, and replaced: a fresh engine is reseeded from the last
+ * merge-barrier EngineSeed checkpoint, the buffered event window since
+ * that checkpoint is replayed, and the replacement rejoins the barrier
+ * protocol. The recovered verdict is exact when no checkpoint was needed
+ * (death before the first merge with the full window intact); otherwise
+ * the run completes with RunResult::degraded set — never a hang, never a
+ * torn result. A shard that exceeds `max_recoveries` is abandoned:
+ * subsequent events for it are counted in events_dropped and the run is
+ * degraded.
  */
 
 #include <cstdint>
@@ -97,6 +111,17 @@ struct ShardOptions {
      *  and arena resident in one core's cache — and, on NUMA machines,
      *  on the node that first touched them (aerocheck --pin). */
     bool pin_workers = false;
+    /** Stalled-worker deadline in milliseconds (threaded driver only).
+     *  0 disables the watchdog and all recovery bookkeeping — the
+     *  default, so un-opted runs pay nothing on the hot path. */
+    uint32_t watchdog_ms = 0;
+    /** Times one shard may be evicted and replaced before it is
+     *  abandoned (run completes degraded, shard's events dropped). */
+    uint32_t max_recoveries = 2;
+    /** Cap, in buffered events, on the recovery replay log. Overflow
+     *  sheds the oldest coverage; a later recovery that needed it
+     *  completes degraded instead of exact. */
+    size_t recovery_buffer_cap = 1 << 20;
     /** Wall-clock budget, enforced by the reader thread. */
     RunBudget budget;
 };
@@ -122,6 +147,12 @@ struct ShardRunResult {
     uint64_t replay_refined = 0;
     /** Replays that did not re-fire; the sound shard verdict was kept. */
     uint64_t replay_upheld = 0;
+    /** Worker evictions that installed a replacement engine. */
+    uint64_t recoveries = 0;
+    /** Shards abandoned after exhausting max_recoveries. */
+    uint64_t shards_abandoned = 0;
+    /** Events routed to an abandoned shard and discarded. */
+    uint64_t events_dropped = 0;
     /** Per-shard counters() breakdown, indexed by shard. */
     std::vector<StatList> shard_counters;
     /** Events each shard actually processed (after projection). */

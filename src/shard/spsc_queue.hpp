@@ -17,12 +17,19 @@
  * distinguish full from empty. Blocking push/pop spin briefly and then
  * yield — the runner targets machines where shards may outnumber cores
  * (CI boxes), where a hot spin would invert priorities.
+ *
+ * Both blocking sides take an optional wait bound (push_wait/pop_wait):
+ * a sick partner must surface as a timeout the caller can act on — evict
+ * the worker, run the watchdog — never as an unbounded spin. The bound
+ * is accounted coarsely (whole sleep quanta) to keep the fast path free
+ * of clock reads.
  */
 
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -34,26 +41,47 @@ namespace aero {
  * shards outnumber cores: a compute-bound worker must not lose its
  * timeslices to siblings busy-yielding on empty queues (measured ~1.75x
  * end-to-end on a single-core host without it).
+ *
+ * Constructed with a wait budget, pause() returns false once the total
+ * (coarsely accounted: only full sleep quanta count, so the bound is a
+ * floor, not a deadline) exceeds it. Budget 0 = wait forever.
  */
 class SpscBackoff {
 public:
-    void
+    explicit SpscBackoff(uint64_t max_wait_us = 0) : max_wait_us_(max_wait_us)
+    {}
+
+    /** One wait step. @return false when the wait budget is spent. */
+    bool
     pause()
     {
         ++spins_;
         if (spins_ < 64)
-            return;
+            return true;
         if (spins_ < 256) {
             std::this_thread::yield();
-            return;
+            return true;
         }
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        if (max_wait_us_ != 0 && slept_us_ >= max_wait_us_)
+            return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(kSleepUs));
+        slept_us_ += kSleepUs;
+        return true;
     }
 
-    void reset() { spins_ = 0; }
+    void
+    reset()
+    {
+        spins_ = 0;
+        slept_us_ = 0;
+    }
 
 private:
+    static constexpr uint64_t kSleepUs = 100;
+
     int spins_ = 0;
+    uint64_t slept_us_ = 0;
+    uint64_t max_wait_us_ = 0;
 };
 
 template <typename T>
@@ -87,14 +115,22 @@ public:
         return true;
     }
 
-    /** Producer side; backs off while the ring is full. */
-    void
-    push(const T& item)
+    /** Producer side; backs off while the ring is full for at most
+     *  `max_wait_us` microseconds (0 = forever).
+     *  @return false on timeout (item not pushed). */
+    bool
+    push_wait(const T& item, uint64_t max_wait_us)
     {
-        SpscBackoff backoff;
-        while (!try_push(item))
-            backoff.pause();
+        SpscBackoff backoff(max_wait_us);
+        while (!try_push(item)) {
+            if (!backoff.pause())
+                return false;
+        }
+        return true;
     }
+
+    /** Producer side; backs off while the ring is full. */
+    void push(const T& item) { push_wait(item, 0); }
 
     /** Consumer side. @return false when the ring is empty. */
     bool
@@ -111,18 +147,40 @@ public:
         return true;
     }
 
+    /** Consumer side; backs off while the ring is empty for at most
+     *  `max_wait_us` microseconds (0 = forever).
+     *  @return false on timeout (`out` untouched). */
+    bool
+    pop_wait(T& out, uint64_t max_wait_us)
+    {
+        SpscBackoff backoff(max_wait_us);
+        while (!try_pop(out)) {
+            if (!backoff.pause())
+                return false;
+        }
+        return true;
+    }
+
     /** Consumer side; backs off while the ring is empty. */
     T
     pop()
     {
         T out;
-        SpscBackoff backoff;
-        while (!try_pop(out))
-            backoff.pause();
+        pop_wait(out, 0);
         return out;
     }
 
     size_t capacity() const { return buf_.size() - 1; }
+
+    /** Racy size estimate (either side / the watchdog); exact only when
+     *  both sides are quiescent. */
+    size_t
+    size_approx() const
+    {
+        const size_t tail = tail_.load(std::memory_order_relaxed);
+        const size_t head = head_.load(std::memory_order_relaxed);
+        return (tail - head) & mask_;
+    }
 
 private:
     // Producer and consumer indices live on separate cache lines so the

@@ -1,11 +1,13 @@
 #include "trace/binary_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "support/assert.hpp"
+#include "trace/stream.hpp"
 
 namespace aero {
 
@@ -23,40 +25,11 @@ put_varint(std::ostream& os, uint64_t v)
     os.put(static_cast<char>(v));
 }
 
-uint64_t
-get_varint(std::istream& is)
-{
-    uint64_t v = 0;
-    int shift = 0;
-    for (;;) {
-        int c = is.get();
-        if (c == EOF)
-            fatal("binary trace truncated inside a varint");
-        v |= static_cast<uint64_t>(c & 0x7f) << shift;
-        if (!(c & 0x80))
-            return v;
-        shift += 7;
-        if (shift > 63)
-            fatal("binary trace varint too long");
-    }
-}
-
 template <typename T>
 void
 put_raw(std::ostream& os, T v)
 {
     os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-template <typename T>
-T
-get_raw(std::istream& is)
-{
-    T v{};
-    is.read(reinterpret_cast<char*>(&v), sizeof(v));
-    if (!is)
-        fatal("binary trace truncated in header");
-    return v;
 }
 
 bool
@@ -97,36 +70,23 @@ write_binary_file(const std::string& path, const Trace& trace)
 Trace
 read_binary(std::istream& is)
 {
-    char magic[8];
-    is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(magic)) != 0)
-        fatal("not an aerodrome binary trace (bad magic)");
-
-    uint64_t count = get_raw<uint64_t>(is);
-    uint32_t nt = get_raw<uint32_t>(is);
-    uint32_t nv = get_raw<uint32_t>(is);
-    uint32_t nl = get_raw<uint32_t>(is);
+    // Decode through the hardened streaming reader: header plausibility
+    // caps, id bounds against the header-declared spaces, and structured
+    // StreamCorruption (an aero::FatalError) on any malformation.
+    BinaryEventSource source(is);
 
     Trace trace;
-    trace.reserve(count);
-    trace.threads().ensure(nt);
-    trace.vars().ensure(nv);
-    trace.locks().ensure(nl);
+    // The header count is untrusted input — reserve at most a modest
+    // slab and let push() grow for genuinely huge traces.
+    trace.reserve(static_cast<size_t>(
+        std::min<uint64_t>(source.expected_events(), 1ull << 22)));
+    trace.threads().ensure(source.num_threads());
+    trace.vars().ensure(source.num_vars());
+    trace.locks().ensure(source.num_locks());
 
-    for (uint64_t i = 0; i < count; ++i) {
-        int opb = is.get();
-        if (opb == EOF)
-            fatal("binary trace truncated at event " + std::to_string(i));
-        if (opb < 0 || opb >= static_cast<int>(kNumOps))
-            fatal("binary trace has invalid opcode " + std::to_string(opb));
-        Op op = static_cast<Op>(opb);
-        uint64_t tid = get_varint(is);
-        uint64_t target = op_has_target(op) ? get_varint(is) : 0;
-        if (tid > UINT32_MAX || target > UINT32_MAX)
-            fatal("binary trace id out of range");
-        trace.push({static_cast<ThreadId>(tid),
-                    static_cast<uint32_t>(target), op});
-    }
+    Event e;
+    while (source.next(e))
+        trace.push(e);
     return trace;
 }
 

@@ -13,14 +13,30 @@
  *
  * Sources also accumulate the id spaces seen so far, so a consumer can
  * size its state lazily (the checkers auto-grow anyway).
+ *
+ * Corrupt input is a first-class outcome, not an abort (src/trace/
+ * README.md): in strict mode (the default) a malformed byte raises
+ * StreamCorruption with a structured StreamError; in resync mode
+ * (set_resync) the reader records the error, scans forward to the next
+ * plausible record boundary, and keeps going — the consumer sees a
+ * degraded but sound stream.
  */
 
+#include <deque>
 #include <istream>
 #include <memory>
+#include <vector>
 
+#include "trace/stream_error.hpp"
 #include "trace/trace.hpp"
 
 namespace aero {
+
+/** Hard plausibility cap on header-declared id spaces: a count above
+ *  this is treated as corruption (kBadHeader), never as an allocation
+ *  request. Generous next to any real trace (paper workloads top out at
+ *  millions of variables and dozens of threads). */
+inline constexpr uint32_t kMaxHeaderIds = 1u << 26;
 
 /** Pull-based event stream. */
 class EventSource {
@@ -29,7 +45,8 @@ public:
 
     /**
      * Decode the next event into `out`.
-     * @return false at end of stream; throws FatalError on corrupt input.
+     * @return false at end of stream; throws StreamCorruption (an
+     *         aero::FatalError) on corrupt input in strict mode.
      */
     virtual bool next(Event& out) = 0;
 
@@ -46,6 +63,20 @@ public:
     {
         return false;
     }
+
+    /** Opt in to resynchronization: corrupt records are recorded and
+     *  skipped instead of raising StreamCorruption. Default: strict. */
+    virtual void set_resync(bool /*on*/) {}
+
+    /** Errors recovered by resync so far (first kMaxRecordedErrors
+     *  kept; recovered_error_count() has the full tally). */
+    virtual const std::vector<StreamError>& recovered_errors() const;
+
+    /** Total corrupt records recovered by resync. */
+    virtual uint64_t recovered_error_count() const { return 0; }
+
+    /** Cap on individually recorded resync errors. */
+    static constexpr size_t kMaxRecordedErrors = 64;
 };
 
 /** Adapter: stream an in-memory trace. */
@@ -81,6 +112,7 @@ private:
  * Streaming reader for the text format (see text_io.hpp). Thread, var,
  * and lock names are interned incrementally; the tables are exposed so
  * callers can render events or map names after (or during) the run.
+ * StreamError::byte_offset reports the 1-based line number.
  */
 class TextEventSource : public EventSource {
 public:
@@ -88,25 +120,56 @@ public:
 
     bool next(Event& out) override;
 
+    void set_resync(bool on) override { resync_ = on; }
+    const std::vector<StreamError>& recovered_errors() const override
+    {
+        return errors_;
+    }
+    uint64_t recovered_error_count() const override { return errors_total_; }
+
     const NameTable& threads() const { return threads_; }
     const NameTable& vars() const { return vars_; }
     const NameTable& locks() const { return locks_; }
 
 private:
+    /** @return 1 event parsed, 0 blank/comment line, -1 parse error
+     *  (message in `err`). Interns names only on success. */
+    int parse_line(const std::string& line, Event& out, std::string& err);
+
     std::istream& is_;
     NameTable threads_;
     NameTable vars_;
     NameTable locks_;
     size_t line_no_ = 0;
+    uint64_t produced_ = 0;
+    bool resync_ = false;
+    bool truncated_ = false; // injected stream cut (AERO_FAULTS)
+    std::vector<StreamError> errors_;
+    uint64_t errors_total_ = 0;
 };
 
-/** Streaming reader for the binary format (see binary_io.hpp). */
+/**
+ * Streaming reader for the binary format (see binary_io.hpp). Decodes
+ * through a small lookahead buffer so resync mode can re-attempt a
+ * record at every byte offset after a corruption without seeking the
+ * underlying stream (pipes included). Event ids are validated against
+ * the header-declared id spaces — a tid or target at or beyond them is
+ * corruption, never an instruction to allocate.
+ */
 class BinaryEventSource : public EventSource {
 public:
-    /** Reads and validates the header immediately. */
+    /** Reads and validates the header immediately; throws
+     *  StreamCorruption (kBadHeader) when malformed or implausible. */
     explicit BinaryEventSource(std::istream& is);
 
     bool next(Event& out) override;
+
+    void set_resync(bool on) override { resync_ = on; }
+    const std::vector<StreamError>& recovered_errors() const override
+    {
+        return errors_;
+    }
+    uint64_t recovered_error_count() const override { return errors_total_; }
 
     /** Event count promised by the header. */
     uint64_t expected_events() const { return expected_; }
@@ -125,12 +188,27 @@ public:
     }
 
 private:
+    enum class Decode : uint8_t { kOk, kEof, kBad };
+
+    int peek_byte(size_t k);
+    void consume(size_t n);
+    Decode try_decode(Event& out, size_t& len, StreamError& err);
+    void record_or_throw(StreamError err, bool& recorded_this_gap);
+
     std::istream& is_;
     uint64_t expected_ = 0;
     uint64_t produced_ = 0;
     uint32_t num_threads_ = 0;
     uint32_t num_vars_ = 0;
     uint32_t num_locks_ = 0;
+    /** Lookahead bytes already pulled from is_ (fault filter applied);
+     *  front is the next undecoded byte at stream offset offset_. */
+    std::deque<int> buf_;
+    uint64_t offset_ = 0; // absolute offset of buf_ front
+    bool truncated_ = false;
+    bool resync_ = false;
+    std::vector<StreamError> errors_;
+    uint64_t errors_total_ = 0;
 };
 
 /** Open a file as a streaming source (binary iff the path ends ".bin"). */

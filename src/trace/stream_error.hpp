@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Structured stream-corruption reporting (see src/trace/README.md for
+ * the full error-handling contract).
+ *
+ * A corrupt byte mid-stream must not unwind the whole process with a
+ * bare message: StreamError pins the failure to an event index, a byte
+ * offset (line number for the text format) and a machine-readable
+ * cause, and StreamCorruption carries it as an exception. It derives
+ * from FatalError so existing catch sites keep working; runners catch
+ * it specifically and convert it into RunStatus::kStreamError.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace aero {
+
+/** Where and why a trace stream stopped decoding. */
+struct StreamError {
+    enum class Cause : uint8_t {
+        kBadHeader,    ///< magic/header malformed or implausible
+        kTruncated,    ///< stream ended inside a record or short of count
+        kBadOpcode,    ///< opcode byte outside the event alphabet
+        kBadVarint,    ///< varint overlong for a u32 id
+        kIdOutOfRange, ///< id >= the header-declared id space
+        kParse,        ///< text line does not parse
+    };
+
+    Cause cause = Cause::kParse;
+    /** Index of the event being decoded when the error hit. */
+    uint64_t event_index = 0;
+    /** Byte offset into the stream (binary) or 1-based line number
+     *  (text) of the offending input. */
+    uint64_t byte_offset = 0;
+    std::string message;
+};
+
+const char* stream_error_cause_name(StreamError::Cause cause);
+
+/** Thrown by the trace readers on corrupt input (strict mode). */
+class StreamCorruption : public FatalError {
+public:
+    explicit StreamCorruption(StreamError err)
+        : FatalError(err.message), err_(std::move(err))
+    {}
+
+    const StreamError& error() const { return err_; }
+
+private:
+    StreamError err_;
+};
+
+} // namespace aero

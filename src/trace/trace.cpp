@@ -12,7 +12,8 @@ NameTable::intern(std::string_view name)
         return it->second;
     uint32_t id = next_++;
     ids_.emplace(std::string(name), id);
-    names_.resize(next_);
+    if (id >= names_.size())
+        names_.resize(id + 1);
     names_[id] = std::string(name);
     return id;
 }
@@ -38,10 +39,12 @@ NameTable::name_of(uint32_t id, std::string_view prefix) const
 void
 NameTable::ensure(uint32_t n)
 {
-    if (n > next_) {
+    // Lazy: widen the id space without materializing names. name_of()
+    // falls back to "<prefix><id>" for ids never interned, and intern()
+    // grows names_ only as far as it actually assigns — so a (possibly
+    // corrupt) header declaring millions of ids costs nothing here.
+    if (n > next_)
         next_ = n;
-        names_.resize(n);
-    }
 }
 
 void

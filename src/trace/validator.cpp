@@ -6,16 +6,19 @@ namespace aero {
 
 namespace {
 
-ValidationResult
-fail(size_t index, std::string msg)
-{
-    return ValidationResult{false, index, std::move(msg)};
-}
+constexpr auto kRecoverable = MalformationSeverity::kRecoverable;
+constexpr auto kFatal = MalformationSeverity::kFatal;
 
-} // namespace
-
-ValidationResult
-validate(const Trace& trace, const ValidatorOptions& opts)
+/**
+ * Single walker behind both entry points. `emit` receives each issue and
+ * returns whether to keep scanning; after a reported issue the walker
+ * repairs its state best-effort (adopt the offending acquire, ignore the
+ * foreign release, ...) so later independent issues still surface in
+ * exhaustive mode.
+ */
+template <typename Emit>
+void
+walk(const Trace& trace, const ValidatorOptions& opts, Emit&& emit)
 {
     const uint32_t nt = trace.num_threads();
     const uint32_t nl = trace.num_locks();
@@ -35,8 +38,11 @@ validate(const Trace& trace, const ValidatorOptions& opts)
         const ThreadId t = e.tid;
 
         if (joined[t]) {
-            return fail(i, "thread " + trace.threads().name_of(t, "t") +
-                               " performs an event after being joined");
+            if (!emit(i, kFatal,
+                      "thread " + trace.threads().name_of(t, "t") +
+                          " performs an event after being joined"))
+                return;
+            joined[t] = false; // report the resurrection once, not per event
         }
         started[t] = true;
 
@@ -44,14 +50,19 @@ validate(const Trace& trace, const ValidatorOptions& opts)
           case Op::kAcquire: {
             const LockId l = e.target;
             if (holder[l] == t) {
-                if (!opts.allow_reentrant_locks) {
-                    return fail(i, "reentrant acquire of lock " +
-                                       trace.locks().name_of(l, "l"));
-                }
+                if (!opts.allow_reentrant_locks &&
+                    !emit(i, kRecoverable,
+                          "reentrant acquire of lock " +
+                              trace.locks().name_of(l, "l")))
+                    return;
                 ++depth[l];
             } else if (holder[l] != kNoThread) {
-                return fail(i, "lock " + trace.locks().name_of(l, "l") +
-                                   " acquired while held by another thread");
+                if (!emit(i, kRecoverable,
+                          "lock " + trace.locks().name_of(l, "l") +
+                              " acquired while held by another thread"))
+                    return;
+                holder[l] = t; // best effort: the acquire wins
+                depth[l] = 1;
             } else {
                 holder[l] = t;
                 depth[l] = 1;
@@ -61,9 +72,12 @@ validate(const Trace& trace, const ValidatorOptions& opts)
           case Op::kRelease: {
             const LockId l = e.target;
             if (holder[l] != t) {
-                return fail(i, "release of lock " +
-                                   trace.locks().name_of(l, "l") +
-                                   " not held by the releasing thread");
+                if (!emit(i, kRecoverable,
+                          "release of lock " +
+                              trace.locks().name_of(l, "l") +
+                              " not held by the releasing thread"))
+                    return;
+                break; // best effort: ignore the foreign release
             }
             if (--depth[l] == 0)
                 holder[l] = kNoThread;
@@ -71,26 +85,43 @@ validate(const Trace& trace, const ValidatorOptions& opts)
           }
           case Op::kFork: {
             const ThreadId u = e.target;
-            if (u == t)
-                return fail(i, "thread forks itself");
-            if (forked[u])
-                return fail(i, "thread " + trace.threads().name_of(u, "t") +
-                                   " forked twice");
+            if (u == t) {
+                if (!emit(i, kFatal, "thread forks itself"))
+                    return;
+                break;
+            }
+            if (forked[u]) {
+                if (!emit(i, kFatal,
+                          "thread " + trace.threads().name_of(u, "t") +
+                              " forked twice"))
+                    return;
+                break;
+            }
             if (started[u]) {
-                return fail(i, "fork of thread " +
-                                   trace.threads().name_of(u, "t") +
-                                   " after its first event");
+                if (!emit(i, kFatal,
+                          "fork of thread " +
+                              trace.threads().name_of(u, "t") +
+                              " after its first event"))
+                    return;
+                break;
             }
             forked[u] = true;
             break;
           }
           case Op::kJoin: {
             const ThreadId u = e.target;
-            if (u == t)
-                return fail(i, "thread joins itself");
-            if (joined[u])
-                return fail(i, "thread " + trace.threads().name_of(u, "t") +
-                                   " joined twice");
+            if (u == t) {
+                if (!emit(i, kFatal, "thread joins itself"))
+                    return;
+                break;
+            }
+            if (joined[u]) {
+                if (!emit(i, kFatal,
+                          "thread " + trace.threads().name_of(u, "t") +
+                              " joined twice"))
+                    return;
+                break;
+            }
             joined[u] = true;
             break;
           }
@@ -98,8 +129,12 @@ validate(const Trace& trace, const ValidatorOptions& opts)
             ++txn_depth[t];
             break;
           case Op::kEnd:
-            if (txn_depth[t] == 0)
-                return fail(i, "transaction end without matching begin");
+            if (txn_depth[t] == 0) {
+                if (!emit(i, kRecoverable,
+                          "transaction end without matching begin"))
+                    return;
+                break;
+            }
             --txn_depth[t];
             break;
           case Op::kRead:
@@ -110,23 +145,64 @@ validate(const Trace& trace, const ValidatorOptions& opts)
 
     if (opts.require_closed_transactions) {
         for (uint32_t t = 0; t < nt; ++t) {
-            if (txn_depth[t] != 0) {
-                return fail(trace.size(),
-                            "thread " + trace.threads().name_of(t, "t") +
-                                " ends the trace with an open transaction");
-            }
+            if (txn_depth[t] != 0 &&
+                !emit(trace.size(), kRecoverable,
+                      "thread " + trace.threads().name_of(t, "t") +
+                          " ends the trace with an open transaction"))
+                return;
         }
     }
     if (opts.require_released_locks) {
         for (uint32_t l = 0; l < nl; ++l) {
-            if (holder[l] != kNoThread) {
-                return fail(trace.size(), "lock " +
-                                              trace.locks().name_of(l, "l") +
-                                              " still held at trace end");
-            }
+            if (holder[l] != kNoThread &&
+                !emit(trace.size(), kRecoverable,
+                      "lock " + trace.locks().name_of(l, "l") +
+                          " still held at trace end"))
+                return;
         }
     }
-    return ValidationResult{};
+}
+
+} // namespace
+
+const char*
+malformation_severity_name(MalformationSeverity severity)
+{
+    switch (severity) {
+      case MalformationSeverity::kRecoverable:
+        return "recoverable";
+      case MalformationSeverity::kFatal:
+        return "fatal";
+    }
+    return "?";
+}
+
+ValidationResult
+validate(const Trace& trace, const ValidatorOptions& opts)
+{
+    ValidationResult result;
+    walk(trace, opts,
+         [&](size_t index, MalformationSeverity severity, std::string msg) {
+             result.ok = false;
+             result.event_index = index;
+             result.severity = severity;
+             result.message = std::move(msg);
+             return false; // first offense ends the scan
+         });
+    return result;
+}
+
+std::vector<ValidationIssue>
+validate_all(const Trace& trace, const ValidatorOptions& opts)
+{
+    std::vector<ValidationIssue> issues;
+    walk(trace, opts,
+         [&](size_t index, MalformationSeverity severity, std::string msg) {
+             issues.push_back(
+                 ValidationIssue{index, severity, std::move(msg)});
+             return issues.size() < kMaxIssues;
+         });
+    return issues;
 }
 
 } // namespace aero

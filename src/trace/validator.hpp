@@ -17,6 +17,15 @@
  *
  * The checkers in this repository assume well-formed input; generators are
  * fuzz-tested against this validator.
+ *
+ * Malformations are classified by severity (src/trace/README.md has the
+ * full table). *Recoverable* ones are local discipline slips — lock or
+ * transaction structure momentarily off — after which the rest of the
+ * trace still means what it says; a robust ingestion pipeline may note
+ * them and continue in degraded mode. *Fatal* ones confuse thread
+ * identity or lifecycle (self-fork, events after a join): every
+ * subsequent event of the affected thread is suspect, so no sound
+ * analysis can continue past them.
  */
 
 #include <optional>
@@ -26,6 +35,18 @@
 #include "trace/trace.hpp"
 
 namespace aero {
+
+/** How badly a malformation poisons the remainder of the trace. */
+enum class MalformationSeverity : uint8_t {
+    /** Local discipline slip (lock/transaction structure); analysis may
+     *  continue in degraded mode. */
+    kRecoverable,
+    /** Thread identity/lifecycle confusion; the trace is not analyzable
+     *  past this point. */
+    kFatal,
+};
+
+const char* malformation_severity_name(MalformationSeverity severity);
 
 /** Options controlling which disciplines the validator enforces. */
 struct ValidatorOptions {
@@ -40,16 +61,39 @@ struct ValidatorOptions {
     bool require_released_locks = false;
 };
 
+/** One malformation found by validate_all(). */
+struct ValidationIssue {
+    /** Index of the offending event (trace size for end-of-trace issues). */
+    size_t event_index = 0;
+    MalformationSeverity severity = MalformationSeverity::kRecoverable;
+    std::string message;
+};
+
 /** Result of validating a trace. */
 struct ValidationResult {
     bool ok = true;
     /** Index of the first offending event (or trace size for end-of-trace
      *  violations such as unclosed transactions). */
     size_t event_index = 0;
+    /** Severity class of the first offense (meaningful when !ok). */
+    MalformationSeverity severity = MalformationSeverity::kRecoverable;
     std::string message;
 };
 
-/** Validate `trace` against the well-formedness rules. */
+/** Validate `trace`; stops at the first malformation. */
 ValidationResult validate(const Trace& trace, const ValidatorOptions& opts = {});
+
+/**
+ * Exhaustive sweep: collect every malformation (capped at kMaxIssues),
+ * repairing state best-effort after each so later independent issues
+ * still surface. Classification — not repair — is the contract: the
+ * checkers still require a clean trace.
+ */
+std::vector<ValidationIssue> validate_all(const Trace& trace,
+                                          const ValidatorOptions& opts = {});
+
+/** Cap on issues collected by validate_all (a corrupt trace can offend
+ *  on nearly every event). */
+inline constexpr size_t kMaxIssues = 1024;
 
 } // namespace aero

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Fault-injection harness suite (src/support/fault.hpp).
+ *
+ * Covers the plan grammar, the deterministic corruption helper, the
+ * always-compiled fault sites (worker kill/stall/delay, ring-full
+ * backpressure, alloc-cap breach), the bounded SPSC waits the recovery
+ * machinery leans on, and the panic-context plumbing. The per-byte
+ * trace-reader sites are compile-gated (-DAERO_FAULTS=ON); their tests
+ * skip when the hooks are not present (fault_points_compiled()).
+ *
+ * Every injected failure must end in a structured RunStatus — never a
+ * hang, an abort, or a torn result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "aerodrome/aerodrome_opt.hpp"
+#include "analysis/runner.hpp"
+#include "gen/patterns.hpp"
+#include "shard/sharded_runner.hpp"
+#include "shard/spsc_queue.hpp"
+#include "support/assert.hpp"
+#include "support/fault.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/stream.hpp"
+#include "trace/text_io.hpp"
+
+namespace aero {
+namespace {
+
+/** Every test leaves the process-wide injector disarmed. */
+class Fault : public ::testing::Test {
+protected:
+    void TearDown() override { FaultInjector::instance().disarm(); }
+};
+
+EngineFactory
+opt_factory()
+{
+    return [] { return std::make_unique<AeroDromeOpt>(0, 0, 0); };
+}
+
+// --- Plan grammar -----------------------------------------------------------
+
+TEST_F(Fault, PlanParsesMinimalSpec)
+{
+    auto plan = parse_fault_plan("trace-byte:bit-flip:5");
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->site, FaultSite::kTraceByte);
+    EXPECT_EQ(plan->kind, FaultKind::kBitFlip);
+    EXPECT_EQ(plan->trigger, 5u);
+    EXPECT_EQ(plan->shard, FaultPlan::kAnyShard);
+    EXPECT_EQ(plan->seed, 1u);
+    EXPECT_EQ(plan->duration, 0u);
+}
+
+TEST_F(Fault, PlanParsesFullSpec)
+{
+    auto plan = parse_fault_plan("worker:kill:3:1:42:100");
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->site, FaultSite::kWorker);
+    EXPECT_EQ(plan->kind, FaultKind::kWorkerKill);
+    EXPECT_EQ(plan->trigger, 3u);
+    EXPECT_EQ(plan->shard, 1u);
+    EXPECT_EQ(plan->seed, 42u);
+    EXPECT_EQ(plan->duration, 100u);
+
+    auto any = parse_fault_plan("ring:ring-full:7:any");
+    ASSERT_TRUE(any.has_value());
+    EXPECT_EQ(any->shard, FaultPlan::kAnyShard);
+}
+
+TEST_F(Fault, PlanRejectsMalformedSpecs)
+{
+    // Unknown site / kind, kind-site mismatch, bad arity, bad numbers.
+    for (const char* spec :
+         {"", "worker", "worker:kill", "bogus:kill:0", "worker:bogus:0",
+          "worker:bit-flip:0",      // byte kind on the worker site
+          "trace-byte:kill:0",      // worker kind on the byte site
+          "alloc:ring-full:0",      // ring kind on the alloc site
+          "worker:kill:abc",        // non-numeric trigger
+          "worker:kill:-1",         // negative trigger
+          "worker:kill:0:zz",       // bad shard
+          "worker:kill:0:0:x",      // bad seed
+          "worker:kill:0:0:1:x",    // bad duration
+          "worker:kill:0:0:1:2:3"}) // too many fields
+        EXPECT_FALSE(parse_fault_plan(spec).has_value()) << spec;
+}
+
+// --- corrupt_bytes helper ---------------------------------------------------
+
+TEST_F(Fault, CorruptBytesIsDeterministicAndRespectsMinOffset)
+{
+    const std::string original(256, 'a');
+    for (FaultKind kind :
+         {FaultKind::kBitFlip, FaultKind::kTruncate, FaultKind::kGarbage}) {
+        std::string a = original, b = original;
+        const uint64_t off_a = corrupt_bytes(a, kind, /*seed=*/99,
+                                             /*min_offset=*/16);
+        const uint64_t off_b = corrupt_bytes(b, kind, 99, 16);
+        EXPECT_EQ(off_a, off_b);
+        EXPECT_EQ(a, b) << "same seed must corrupt identically";
+        EXPECT_GE(off_a, 16u);
+        EXPECT_LT(off_a, original.size());
+        EXPECT_NE(a, original) << "corruption was a no-op";
+        if (kind == FaultKind::kTruncate)
+            EXPECT_EQ(a.size(), off_a);
+        else
+            EXPECT_EQ(a.size(), original.size());
+    }
+    // Different seeds land on different offsets at least sometimes.
+    std::string c = original, d = original;
+    const uint64_t oc = corrupt_bytes(c, FaultKind::kBitFlip, 1);
+    const uint64_t od = corrupt_bytes(d, FaultKind::kBitFlip, 2);
+    EXPECT_TRUE(oc != od || c != d);
+}
+
+TEST_F(Fault, CorruptBytesOnTooSmallImageIsANoOp)
+{
+    std::string tiny = "ab";
+    const uint64_t off =
+        corrupt_bytes(tiny, FaultKind::kGarbage, 5, /*min_offset=*/2);
+    EXPECT_EQ(off, tiny.size());
+    EXPECT_EQ(tiny, "ab");
+}
+
+// --- Compile-gated trace-byte sites -----------------------------------------
+
+TEST_F(Fault, InjectedBinaryTruncationIsAStructuredStreamError)
+{
+    if (!fault_points_compiled())
+        GTEST_SKIP() << "per-byte hooks not compiled (-DAERO_FAULTS=ON)";
+
+    Trace t = gen::make_pipeline(4, 50);
+    std::ostringstream blob;
+    write_binary(blob, t);
+
+    FaultPlan plan;
+    plan.site = FaultSite::kTraceByte;
+    plan.kind = FaultKind::kTruncate;
+    plan.trigger = 40; // post-header byte count: mid-record territory
+    FaultInjector::instance().arm(plan);
+
+    std::istringstream in(blob.str(), std::ios::binary);
+    BinaryEventSource src(in);
+    AeroDromeOpt engine(0, 0, 0);
+    RunResult r = run_checker_stream(engine, src);
+    EXPECT_EQ(FaultInjector::instance().fires(), 1u);
+    ASSERT_EQ(r.status(), RunStatus::kStreamError);
+    EXPECT_EQ(r.stream_error->cause, StreamError::Cause::kTruncated);
+    EXPECT_FALSE(r.stream_error->message.empty());
+    EXPECT_LT(r.events_processed, t.size());
+}
+
+TEST_F(Fault, InjectedTextGarbageStopsStrictAndResyncsWhenAsked)
+{
+    if (!fault_points_compiled())
+        GTEST_SKIP() << "per-byte hooks not compiled (-DAERO_FAULTS=ON)";
+
+    Trace t = gen::make_pipeline(2, 20);
+    std::ostringstream text;
+    write_text(text, t);
+
+    FaultPlan plan;
+    plan.site = FaultSite::kTraceByte;
+    plan.kind = FaultKind::kGarbage;
+    plan.trigger = 10; // 0-based line count
+
+    // Strict: the corrupt line ends the run with a parse error naming it.
+    FaultInjector::instance().arm(plan);
+    {
+        std::istringstream in(text.str());
+        TextEventSource src(in);
+        AeroDromeOpt engine(0, 0, 0);
+        RunResult r = run_checker_stream(engine, src);
+        ASSERT_EQ(r.status(), RunStatus::kStreamError);
+        EXPECT_EQ(r.stream_error->cause, StreamError::Cause::kParse);
+        EXPECT_EQ(r.stream_error->byte_offset, 11u) << "1-based line no.";
+    }
+
+    // Resync: the corrupt line is recorded and skipped; the run finishes
+    // degraded, with the rest of the stream checked.
+    FaultInjector::instance().arm(plan);
+    {
+        std::istringstream in(text.str());
+        TextEventSource src(in);
+        src.set_resync(true);
+        AeroDromeOpt engine(0, 0, 0);
+        RunResult r = run_checker_stream(engine, src);
+        ASSERT_EQ(r.status(), RunStatus::kDegraded);
+        EXPECT_EQ(r.stream_errors_recovered, 1u);
+        ASSERT_EQ(src.recovered_errors().size(), 1u);
+        EXPECT_EQ(src.recovered_errors()[0].byte_offset, 11u);
+    }
+}
+
+// --- Worker faults (always compiled) ----------------------------------------
+
+/** Serializable workload with plenty of events on every shard. */
+Trace
+worker_workload()
+{
+    return gen::make_pipeline(4, 500);
+}
+
+TEST_F(Fault, KilledWorkerIsRecoveredAndTheVerdictStaysSound)
+{
+    FaultPlan plan;
+    plan.site = FaultSite::kWorker;
+    plan.kind = FaultKind::kWorkerKill;
+    plan.trigger = 25;
+    plan.shard = 0;
+    FaultInjector::instance().arm(plan);
+
+    Trace t = worker_workload();
+    ShardOptions opts;
+    opts.shards = 2;
+    opts.watchdog_ms = 150;
+    ShardRunResult r = run_sharded(opt_factory(), t, opts);
+    EXPECT_EQ(FaultInjector::instance().fires(), 1u);
+    EXPECT_GE(r.recoveries, 1u);
+    EXPECT_FALSE(r.result.violation)
+        << "recovery fabricated a violation on a serializable trace";
+    // Exact when the replay window was intact, degraded otherwise —
+    // both are structured completions.
+    const RunStatus status = r.result.status();
+    EXPECT_TRUE(status == RunStatus::kOk || status == RunStatus::kDegraded)
+        << run_status_name(status);
+}
+
+TEST_F(Fault, StalledWorkerIsEvictedAndReplaced)
+{
+    FaultPlan plan;
+    plan.site = FaultSite::kWorker;
+    plan.kind = FaultKind::kWorkerStall;
+    plan.trigger = 40;
+    plan.duration = 5000; // stall cap well past the watchdog deadline
+    FaultInjector::instance().arm(plan);
+
+    Trace t = worker_workload();
+    ShardOptions opts;
+    opts.shards = 2;
+    opts.watchdog_ms = 150;
+    ShardRunResult r = run_sharded(opt_factory(), t, opts);
+    EXPECT_EQ(FaultInjector::instance().fires(), 1u);
+    EXPECT_GE(r.recoveries, 1u);
+    EXPECT_FALSE(r.result.violation);
+    const RunStatus status = r.result.status();
+    EXPECT_TRUE(status == RunStatus::kOk || status == RunStatus::kDegraded)
+        << run_status_name(status);
+}
+
+TEST_F(Fault, DelayBelowTheDeadlineCausesNoEviction)
+{
+    FaultPlan plan;
+    plan.site = FaultSite::kWorker;
+    plan.kind = FaultKind::kWorkerDelay;
+    plan.trigger = 40;
+    plan.duration = 20; // one 20ms hiccup, far below the deadline
+    FaultInjector::instance().arm(plan);
+
+    Trace t = worker_workload();
+    AeroDromeOpt baseline(t.num_threads(), t.num_vars(), t.num_locks());
+    RunResult expected = run_checker(baseline, t);
+
+    ShardOptions opts;
+    opts.shards = 2;
+    opts.watchdog_ms = 500;
+    ShardRunResult r = run_sharded(opt_factory(), t, opts);
+    EXPECT_EQ(FaultInjector::instance().fires(), 1u);
+    EXPECT_EQ(r.recoveries, 0u) << "a transient hiccup must not evict";
+    EXPECT_EQ(r.result.status(), RunStatus::kOk);
+    EXPECT_EQ(r.result.violation, expected.violation);
+}
+
+TEST_F(Fault, ArmedWorkerFaultTurnsOnADefaultWatchdog)
+{
+    // A drill with the watchdog left at 0 must still recover: arming a
+    // kWorker plan flips on the default deadline so the injected death
+    // cannot hang the very harness meant to test it.
+    FaultPlan plan;
+    plan.site = FaultSite::kWorker;
+    plan.kind = FaultKind::kWorkerKill;
+    plan.trigger = 25;
+    FaultInjector::instance().arm(plan);
+
+    Trace t = worker_workload();
+    ShardOptions opts;
+    opts.shards = 2; // watchdog_ms stays 0
+    ShardRunResult r = run_sharded(opt_factory(), t, opts);
+    EXPECT_EQ(FaultInjector::instance().fires(), 1u);
+    EXPECT_GE(r.recoveries, 1u);
+    EXPECT_FALSE(r.result.violation);
+}
+
+// --- Ring and alloc faults --------------------------------------------------
+
+TEST_F(Fault, RingFullBurstOnlyExercisesBackpressure)
+{
+    FaultPlan plan;
+    plan.site = FaultSite::kRingPush;
+    plan.kind = FaultKind::kRingFull;
+    plan.trigger = 100;
+    plan.duration = 64; // burst length in pushes
+    FaultInjector::instance().arm(plan);
+
+    Trace t = worker_workload();
+    AeroDromeOpt baseline(t.num_threads(), t.num_vars(), t.num_locks());
+    RunResult expected = run_checker(baseline, t);
+
+    ShardOptions opts;
+    opts.shards = 2;
+    ShardRunResult r = run_sharded(opt_factory(), t, opts);
+    EXPECT_GE(FaultInjector::instance().fires(), 1u);
+    EXPECT_EQ(r.result.status(), RunStatus::kOk)
+        << "backpressure must not change the outcome";
+    EXPECT_EQ(r.result.violation, expected.violation);
+    EXPECT_EQ(r.result.events_processed, expected.events_processed);
+}
+
+TEST_F(Fault, AllocCapBreachEndsTheRunAsInternalError)
+{
+    FaultPlan plan;
+    plan.site = FaultSite::kAlloc;
+    plan.kind = FaultKind::kAllocCap;
+    plan.trigger = 2; // sticky from the second budget poll on
+    FaultInjector::instance().arm(plan);
+
+    Trace t = gen::make_pipeline(2, 200);
+    RunBudget budget;
+    budget.check_interval = 64; // poll often enough to hit the trigger
+    AeroDromeOpt engine(t.num_threads(), t.num_vars(), t.num_locks());
+    RunResult r = run_checker(engine, t, budget);
+    EXPECT_EQ(FaultInjector::instance().fires(), 1u);
+    ASSERT_EQ(r.status(), RunStatus::kInternalError);
+    EXPECT_NE(r.internal_error.find("injected"), std::string::npos)
+        << r.internal_error;
+    EXPECT_LT(r.events_processed, t.size());
+}
+
+// --- Bounded SPSC waits -----------------------------------------------------
+
+TEST_F(Fault, FullRingPushWaitTimesOutInsteadOfHanging)
+{
+    SpscQueue<int> q(2);
+    int filled = 0;
+    while (q.try_push(filled))
+        ++filled;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.push_wait(99, /*max_wait_us=*/20000));
+    const auto waited = std::chrono::steady_clock::now() - start;
+    // The bound is a floor (whole sleep quanta), but a sick consumer
+    // must surface within the same order of magnitude, not never.
+    EXPECT_LT(waited, std::chrono::seconds(10));
+    // Nothing was pushed; the ring still drains exactly what was there.
+    for (int i = 0; i < filled; ++i) {
+        int out = -1;
+        ASSERT_TRUE(q.try_pop(out));
+        EXPECT_EQ(out, i);
+    }
+    int leftover;
+    EXPECT_FALSE(q.try_pop(leftover));
+}
+
+TEST_F(Fault, EmptyRingPopWaitTimesOutAndLeavesOutUntouched)
+{
+    SpscQueue<int> q(4);
+    int out = 424242;
+    EXPECT_FALSE(q.pop_wait(out, /*max_wait_us=*/20000));
+    EXPECT_EQ(out, 424242);
+}
+
+TEST_F(Fault, BackoffBudgetIsAFloorNotForever)
+{
+    SpscBackoff backoff(/*max_wait_us=*/300);
+    int pauses = 0;
+    while (backoff.pause())
+        ++pauses;
+    // 64 spins + 192 yields + ceil(300/100) sleeps, then exhaustion.
+    EXPECT_GE(pauses, 256);
+    EXPECT_LT(pauses, 10000);
+    backoff.reset();
+    EXPECT_TRUE(backoff.pause()) << "reset must restore the budget";
+}
+
+// --- Panic context ----------------------------------------------------------
+
+TEST_F(Fault, PanicMessageNamesTheEventIndexAndShard)
+{
+    PanicHandler prev = set_panic_handler(&throwing_panic_handler);
+    {
+        PanicContextScope scope(/*shard=*/3);
+        scope.set_index(1234);
+        try {
+            panic(__FILE__, __LINE__, "drill");
+            FAIL() << "panic returned";
+        } catch (const InternalError& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("while processing event 1234"),
+                      std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("(shard 3)"), std::string::npos) << msg;
+        }
+    }
+    // Outside any scope the message carries no position suffix.
+    try {
+        panic(__FILE__, __LINE__, "drill");
+        FAIL() << "panic returned";
+    } catch (const InternalError& e) {
+        EXPECT_EQ(std::string(e.what()).find("while processing"),
+                  std::string::npos);
+    }
+    set_panic_handler(prev);
+}
+
+} // namespace
+} // namespace aero

@@ -41,6 +41,7 @@
 #include "gen/random_program.hpp"
 #include "shard/sharded_runner.hpp"
 #include "sim/scheduler.hpp"
+#include "support/fault.hpp"
 #include "trace/builder.hpp"
 
 namespace aero {
@@ -589,6 +590,181 @@ TEST(ShardParityAdversarial, ThreadedExactEpochSpotCheck)
             }
         }
     }
+}
+
+// --- Worker-failure parity matrix -------------------------------------------
+//
+// The recovery path (src/shard/README.md, "Failure model") promises: a
+// worker killed or stalled at any point either recovers to the *exact*
+// single-engine verdict (checkpoint + intact replay window) or completes
+// with the degraded flag raised — and a reported violation is real
+// either way. Sweep injected kill/stall across both shards and a spread
+// of trigger offsets (death before any work, inside the first window,
+// mid-stream) on a serializable and a violating trace, and hold every
+// run to that contract against the single-engine oracle.
+
+/** Long cross-shard ping-pong: ordered handoffs only, serializable. */
+Trace
+failure_matrix_serializable()
+{
+    TraceBuilder b;
+    for (int round = 0; round < 60; ++round) {
+        b.begin("t1").write("t1", "x").write("t1", "y").end("t1");
+        b.begin("t2").read("t2", "x").read("t2", "y").end("t2");
+    }
+    return b.take();
+}
+
+/** Same ping-pong, then a cross-shard cycle closes late: the violation
+ *  sits past every trigger offset, so a recovered lane must still carry
+ *  the clocks that expose it. */
+Trace
+failure_matrix_violating()
+{
+    TraceBuilder b;
+    for (int round = 0; round < 40; ++round) {
+        b.begin("t1").write("t1", "x").write("t1", "y").end("t1");
+        b.begin("t2").read("t2", "x").read("t2", "y").end("t2");
+    }
+    b.begin("t1").write("t1", "x");
+    b.begin("t2").read("t2", "x").write("t2", "y");
+    b.read("t1", "y");
+    b.end("t1").end("t2");
+    return b.take();
+}
+
+/** RAII disarm so a failing assertion cannot leak an armed plan into
+ *  the next test. */
+struct ArmedPlan {
+    explicit ArmedPlan(const FaultPlan& plan)
+    {
+        FaultInjector::instance().arm(plan);
+    }
+    ~ArmedPlan() { FaultInjector::instance().disarm(); }
+};
+
+TEST(ShardWorkerFailure, KillAndStallMatrixMatchesOracleOrDegrades)
+{
+    struct Workload {
+        const char* name;
+        Trace trace;
+    };
+    const Workload workloads[] = {
+        {"serializable", failure_matrix_serializable()},
+        {"violating", failure_matrix_violating()},
+    };
+    for (const Workload& wl : workloads) {
+        RunResult expected = baseline<AeroDromeOpt>(wl.trace, true);
+        for (FaultKind kind :
+             {FaultKind::kWorkerKill, FaultKind::kWorkerStall}) {
+            for (uint32_t shard : {0u, 1u}) {
+                for (uint64_t trigger : {uint64_t{0}, uint64_t{1},
+                                         uint64_t{5}, uint64_t{13}}) {
+                    SCOPED_TRACE(::testing::Message()
+                                 << wl.name << " kind="
+                                 << fault_kind_name(kind)
+                                 << " shard=" << shard
+                                 << " trigger=" << trigger);
+                    FaultPlan plan;
+                    plan.site = FaultSite::kWorker;
+                    plan.kind = kind;
+                    plan.trigger = trigger;
+                    plan.shard = shard;
+                    plan.duration = 2000; // stall cap >> watchdog
+                    ArmedPlan armed(plan);
+
+                    ShardOptions opts;
+                    opts.shards = 2;
+                    opts.merge_epoch = 4;
+                    opts.policy = &modulo_shard_policy;
+                    opts.queue_capacity = 64;
+                    opts.watchdog_ms = 150;
+                    ShardRunResult r =
+                        run_sharded(factory<AeroDromeOpt>(true), wl.trace,
+                                    opts);
+                    ASSERT_GE(r.recoveries, 1u)
+                        << "the injected failure never tripped recovery";
+                    if (!r.result.degraded) {
+                        // Exact recovery: the full single-engine verdict,
+                        // index for index.
+                        ASSERT_EQ(r.result.violation, expected.violation);
+                        if (expected.violation) {
+                            EXPECT_EQ(r.result.details->event_index,
+                                      expected.details->event_index);
+                            EXPECT_EQ(r.result.details->thread,
+                                      expected.details->thread);
+                        }
+                    } else if (r.result.violation) {
+                        // Degraded completions keep soundness: a reported
+                        // violation is real, so the oracle must violate
+                        // at or before it.
+                        ASSERT_TRUE(expected.violation);
+                        EXPECT_GE(r.result.details->event_index,
+                                  expected.details->event_index);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ShardWorkerFailure, DelayBelowTheDeadlineStaysExact)
+{
+    // A worker that hiccups but keeps heartbeating must not be evicted:
+    // no recovery, no degradation, bit-exact verdict.
+    Trace t = failure_matrix_violating();
+    RunResult expected = baseline<AeroDromeOpt>(t, true);
+    ASSERT_TRUE(expected.violation);
+
+    FaultPlan plan;
+    plan.site = FaultSite::kWorker;
+    plan.kind = FaultKind::kWorkerDelay;
+    plan.trigger = 9;
+    plan.duration = 30; // well under the 500ms deadline
+    ArmedPlan armed(plan);
+
+    ShardOptions opts;
+    opts.shards = 2;
+    opts.merge_epoch = 4;
+    opts.policy = &modulo_shard_policy;
+    opts.queue_capacity = 64;
+    opts.watchdog_ms = 500;
+    ShardRunResult r = run_sharded(factory<AeroDromeOpt>(true), t, opts);
+    EXPECT_EQ(r.recoveries, 0u);
+    EXPECT_FALSE(r.result.degraded);
+    ASSERT_TRUE(r.result.violation);
+    EXPECT_EQ(r.result.details->event_index, expected.details->event_index);
+    EXPECT_EQ(r.result.details->thread, expected.details->thread);
+}
+
+TEST(ShardWorkerFailure, KillBeforeAnyMergeRecoversExactly)
+{
+    // With merging disabled there is never a checkpoint to lose: the
+    // replacement engine replays the shard's stream from the beginning,
+    // so even a death on the very first item recovers without giving up
+    // exactness (degraded must stay false).
+    Trace t = failure_matrix_serializable();
+
+    FaultPlan plan;
+    plan.site = FaultSite::kWorker;
+    plan.kind = FaultKind::kWorkerKill;
+    plan.trigger = 0;
+    plan.shard = 1;
+    ArmedPlan armed(plan);
+
+    ShardOptions opts;
+    opts.shards = 2;
+    opts.merge_epoch = 0;
+    opts.confirm_replay = false;
+    opts.policy = &modulo_shard_policy;
+    opts.queue_capacity = 64;
+    opts.watchdog_ms = 150;
+    ShardRunResult r = run_sharded(factory<AeroDromeOpt>(true), t, opts);
+    EXPECT_GE(r.recoveries, 1u);
+    EXPECT_FALSE(r.result.degraded)
+        << "reason: " << r.result.degraded_reason;
+    EXPECT_FALSE(r.result.violation);
+    EXPECT_EQ(r.result.status(), RunStatus::kOk);
 }
 
 TEST(ShardParityDirected, ThreadedLockstepSpotCheck)

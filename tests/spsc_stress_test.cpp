@@ -165,6 +165,43 @@ TEST(SpscStress, ShutdownWhileFullDeliversEverything)
     }
 }
 
+TEST(SpscStress, BoundedWaitSurfacesADeadPartnerThenRecovers)
+{
+    // The runner's watchdog leans on push_wait/pop_wait timing out when
+    // the other side is sick: a producer facing a dead consumer must get
+    // control back, and the same queue must work normally once a live
+    // consumer appears (timeout does not corrupt the ring).
+    SpscQueue<Item> q(4);
+    uint64_t pushed = 0;
+    while (q.try_push({pushed, false}))
+        ++pushed;
+    EXPECT_FALSE(q.push_wait({pushed, false}, /*max_wait_us=*/5000))
+        << "full ring with no consumer must time out";
+
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        uint64_t expect = 0;
+        for (;;) {
+            Item it;
+            // A live-but-slow producer: bounded pops keep succeeding.
+            ASSERT_TRUE(q.pop_wait(it, /*max_wait_us=*/1000000));
+            if (it.eof)
+                break;
+            ASSERT_EQ(it.seq, expect++);
+        }
+        EXPECT_EQ(expect, pushed + 1);
+    });
+    // The retry after the timeout delivers the same item unduplicated.
+    ASSERT_TRUE(q.push_wait({pushed, false}, /*max_wait_us=*/1000000));
+    q.push({pushed + 1, true});
+    consumer.join();
+
+    Item leftover;
+    EXPECT_FALSE(q.try_pop(leftover));
+    EXPECT_FALSE(q.pop_wait(leftover, /*max_wait_us=*/5000))
+        << "drained ring with no producer must time out";
+}
+
 TEST(SpscStress, SingleThreadedWraparoundInvariants)
 {
     SpscQueue<uint64_t> q(3); // rounds up: capacity() == 3 means 4 slots
