@@ -16,16 +16,22 @@
  *                  overhead of each analysis.
  *
  * A second mode, --shards, sweeps the sharded runner (src/shard/) over
- * shard counts x merge policies on the ablation workloads and writes
- * BENCH_shards.json: end-to-end wall time, events/s and speedup vs the
- * plain single-engine runner, per workload x engine x shard count, for
- * lockstep (merge_epoch = 1, a barrier per event) against exact epoch
- * mode (periodic merges + divergence barriers) — the headline is epoch
- * mode matching lockstep's verdicts at higher throughput. Each run
- * records the merge policy and epoch used, the merge counts, and the
- * suspect-replay counters. Scaling beyond 1x needs at least as many
- * cores as shards; the JSON records hardware_concurrency so single-core
- * CI numbers read as what they are.
+ * drivers x shard counts x merge policies on the ablation workloads and
+ * writes BENCH_shards.json: end-to-end wall time, events/s and speedup
+ * vs the plain single-engine runner, per workload x engine x driver x
+ * shard count, for lockstep (merge_epoch = 1, a barrier per event)
+ * against exact epoch mode (periodic merges + divergence barriers) — the
+ * headline is epoch mode matching lockstep's verdicts at higher
+ * throughput. Each run records the transport block size (batch), the
+ * block-transport counters (blocks pushed, partial flushes, average
+ * routed-run length), the speedup against the same driver's 1-shard row
+ * (speedup_vs_1shard — the number that isolates parallel gain from
+ * transport overhead), and the per-event transport tax in ns vs the
+ * single-engine baseline. A small batch ablation re-runs the first
+ * engine's 2-shard epoch row at batch 1 and 64 against the default 256.
+ * Scaling beyond 1x needs at least as many cores as shards; the JSON
+ * records hardware_concurrency (and per-row `oversubscribed`) so
+ * single-core CI numbers read as what they are.
  *
  * A third mode, --updsets, is the update-set smoke gate: it measures the
  * basic/readopt end-event path (update sets on vs the AERO_UPDATE_SETS=0
@@ -246,30 +252,50 @@ run_shard_sweep(const Args& args)
         const Workload& wl = workloads[w];
         std::printf("\n-- %s (%s events) --\n", wl.name,
                     with_commas(wl.trace.size()).c_str());
-        std::printf("%20s  %8s  %12s  %10s  %12s  %8s\n", "engine",
-                    "shards", "policy", "time", "events/s", "speedup");
+        std::printf("%20s  %9s  %6s  %6s  %12s  %10s  %12s  %8s  %9s\n",
+                    "engine", "driver", "shards", "batch", "policy",
+                    "time", "events/s", "speedup", "vs1shard");
 
         json += "    {\"name\": \"" + std::string(wl.name) +
                 "\", \"events\": " + std::to_string(wl.trace.size()) +
                 ", \"runs\": [\n";
 
         bool first_run = true;
-        for (const ShardEngine& eng : engines) {
+        for (size_t ei = 0; ei < engines.size(); ++ei) {
+            const ShardEngine& eng = engines[ei];
             RunResult base = eng.baseline(wl.trace);
-            auto emit = [&](const char* label, uint32_t shards,
+            auto emit = [&](const char* label, const char* driver,
+                            uint32_t shards, uint32_t batch,
                             const char* run_policy, uint64_t merge_epoch,
                             double seconds, const ShardRunResult* r,
-                            bool update_sets) {
-                double evs = seconds > 0
-                                 ? static_cast<double>(wl.trace.size()) /
-                                       seconds
-                                 : 0;
+                            bool update_sets, double one_shard_seconds) {
+                const double events_d =
+                    static_cast<double>(wl.trace.size());
+                double evs = seconds > 0 ? events_d / seconds : 0;
                 double speedup =
                     seconds > 0 ? base.seconds / seconds : 0;
+                // Parallel gain isolated from transport overhead: this
+                // row against the *same driver's* 1-shard run.
+                double vs_1shard = seconds > 0 && one_shard_seconds > 0
+                                       ? one_shard_seconds / seconds
+                                       : 0;
+                // Extra wall-clock per event vs the plain single-engine
+                // runner — the transport tax (negative once parallelism
+                // pays it back).
+                const double tax_ns =
+                    events_d > 0 ? (seconds - base.seconds) * 1e9 /
+                                       events_d
+                                 : 0;
+                const double avg_run =
+                    r && r->transport_runs
+                        ? static_cast<double>(r->transport_run_events) /
+                              static_cast<double>(r->transport_runs)
+                        : 0;
                 // Honesty flag: a run with more shard workers than cores
                 // cannot exhibit parallel speedup; say so in the record
                 // instead of letting 0.00x rows read as regressions.
-                const bool oversubscribed = shards > cores;
+                const bool oversubscribed =
+                    std::string(driver) == "threaded" && shards > cores;
                 if (oversubscribed) {
                     std::fprintf(stderr,
                                  "warning: %s x%u shards on %u core(s) — "
@@ -277,45 +303,81 @@ run_shard_sweep(const Args& args)
                                  "meaningful\n",
                                  label, shards, cores);
                 }
-                std::printf("%20s  %8u  %12s  %10s  %12.0f  %7.2fx%s\n",
-                            label, shards, run_policy,
+                std::printf("%20s  %9s  %6u  %6u  %12s  %10s  %12.0f  "
+                            "%7.2fx  %8.2fx%s\n",
+                            label, driver, shards, batch, run_policy,
                             format_duration(seconds).c_str(), evs, speedup,
+                            vs_1shard,
                             oversubscribed ? "  (oversub.)" : "");
-                char buf[512];
+                char buf[1024];
                 std::snprintf(
                     buf, sizeof(buf),
-                    "      %s{\"engine\": \"%s\", \"shards\": %u, "
+                    "      %s{\"engine\": \"%s\", \"driver\": \"%s\", "
+                    "\"shards\": %u, \"batch\": %u, "
                     "\"merge_policy\": \"%s\", \"merge_epoch\": %llu, "
                     "\"seconds\": %.6f, \"events_per_s\": %.0f, "
-                    "\"speedup\": %.3f, \"merges\": %llu, "
+                    "\"speedup\": %.3f, \"speedup_vs_1shard\": %.3f, "
+                    "\"transport_tax_ns_per_event\": %.1f, "
+                    "\"merges\": %llu, "
                     "\"barrier_merges\": %llu, \"suspects\": %llu, "
-                    "\"replays\": %llu, \"update_sets\": %s, "
+                    "\"replays\": %llu, \"blocks_pushed\": %llu, "
+                    "\"partial_flushes\": %llu, \"avg_run_len\": %.1f, "
+                    "\"update_sets\": %s, "
                     "\"oversubscribed\": %s}",
-                    first_run ? "" : ",", label, shards, run_policy,
+                    first_run ? "" : ",", label, driver, shards, batch,
+                    run_policy,
                     static_cast<unsigned long long>(merge_epoch), seconds,
-                    evs, static_cast<double>(speedup),
+                    evs, static_cast<double>(speedup), vs_1shard, tax_ns,
                     static_cast<unsigned long long>(
                         r ? r->frontier_merges : 0),
                     static_cast<unsigned long long>(
                         r ? r->barrier_merges : 0),
                     static_cast<unsigned long long>(r ? r->suspects : 0),
                     static_cast<unsigned long long>(r ? r->replays : 0),
-                    update_sets ? "true" : "false",
+                    static_cast<unsigned long long>(
+                        r ? r->blocks_pushed : 0),
+                    static_cast<unsigned long long>(
+                        r ? r->partial_flushes : 0),
+                    avg_run, update_sets ? "true" : "false",
                     oversubscribed ? "true" : "false");
                 first_run = false;
                 json += buf;
                 json += "\n";
             };
-            emit(eng.name, 1, "single", 0, base.seconds, nullptr,
-                 update_sets_enabled_default());
+            emit(eng.name, "single", 1, 1, "single", 0, base.seconds,
+                 nullptr, update_sets_enabled_default(), base.seconds);
             if (eng.nosets) {
                 // The AERO_UPDATE_SETS=0 ablation: the pre-PR full-table
                 // end sweep, recorded so the update-set win stays
                 // measurable from the JSON alone.
                 RunResult off = eng.nosets(wl.trace);
-                emit(eng.name, 1, "single-nosets", 0, off.seconds, nullptr,
-                     false);
+                emit(eng.name, "single", 1, 1, "single-nosets", 0,
+                     off.seconds, nullptr, false, off.seconds);
             }
+            // Same-driver 1-shard anchors: what the sharding machinery
+            // itself costs with no parallelism to buy it back. These are
+            // the denominators of speedup_vs_1shard.
+            ShardOptions one;
+            one.shards = 1;
+            ShardRunResult r1t = run_sharded(eng.factory, wl.trace, one);
+            if (r1t.result.violation != base.violation) {
+                std::fprintf(stderr, "verdict mismatch on %s x1 shard!\n",
+                             wl.name);
+                return 1;
+            }
+            const double threaded1 = r1t.result.seconds;
+            emit(eng.name, "threaded", 1, r1t.batch, "none", 0, threaded1,
+                 &r1t, update_sets_enabled_default(), threaded1);
+            ShardRunResult r1i =
+                run_sharded_inline(eng.factory, wl.trace, one);
+            if (r1i.result.violation != base.violation) {
+                std::fprintf(stderr, "verdict mismatch on %s x1 shard!\n",
+                             wl.name);
+                return 1;
+            }
+            const double inline1 = r1i.result.seconds;
+            emit(eng.name, "inline", 1, r1i.batch, "none", 0, inline1,
+                 &r1i, update_sets_enabled_default(), inline1);
             for (uint32_t shards : {2u, 4u, 8u}) {
                 // Lockstep is the exactness anchor and the throughput
                 // bar the configured epoch mode has to clear.
@@ -336,12 +398,62 @@ run_shard_sweep(const Args& args)
                                      wl.name, shards);
                         return 1;
                     }
-                    emit(eng.name, shards,
+                    emit(eng.name, "threaded", shards, r.batch,
                          merge_policy_name(merge_epoch,
                                            args.merge_barriers)
                              .c_str(),
                          merge_epoch, r.result.seconds, &r,
-                         update_sets_enabled_default());
+                         update_sets_enabled_default(), threaded1);
+                }
+                // The inline driver at the configured epoch policy: the
+                // same routing/merge/verdict logic with no queues or
+                // threads — the transport-free ceiling.
+                {
+                    ShardOptions opts;
+                    opts.shards = shards;
+                    opts.merge_epoch = args.merge_epoch;
+                    opts.divergence_barriers = args.merge_barriers;
+                    ShardRunResult r =
+                        run_sharded_inline(eng.factory, wl.trace, opts);
+                    if (r.result.violation != base.violation) {
+                        std::fprintf(stderr,
+                                     "verdict mismatch on %s x%u "
+                                     "shards!\n",
+                                     wl.name, shards);
+                        return 1;
+                    }
+                    emit(eng.name, "inline", shards, r.batch,
+                         merge_policy_name(args.merge_epoch,
+                                           args.merge_barriers)
+                             .c_str(),
+                         args.merge_epoch, r.result.seconds, &r,
+                         update_sets_enabled_default(), inline1);
+                }
+            }
+            // Batch ablation (first engine only): the 2-shard epoch row
+            // at block sizes 1 and 64, against the default-256 row above.
+            if (ei == 0 && args.merge_epoch != 1) {
+                for (uint32_t b : {1u, 64u}) {
+                    ShardOptions opts;
+                    opts.shards = 2;
+                    opts.merge_epoch = args.merge_epoch;
+                    opts.divergence_barriers = args.merge_barriers;
+                    opts.batch_size = b;
+                    ShardRunResult r =
+                        run_sharded(eng.factory, wl.trace, opts);
+                    if (r.result.violation != base.violation) {
+                        std::fprintf(stderr,
+                                     "verdict mismatch on %s x2 shards "
+                                     "batch %u!\n",
+                                     wl.name, b);
+                        return 1;
+                    }
+                    emit(eng.name, "threaded", 2, b,
+                         merge_policy_name(args.merge_epoch,
+                                           args.merge_barriers)
+                             .c_str(),
+                         args.merge_epoch, r.result.seconds, &r,
+                         update_sets_enabled_default(), threaded1);
                 }
             }
         }

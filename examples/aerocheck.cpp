@@ -10,8 +10,8 @@
  * Usage:
  *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
  *             [--shards N] [--merge-epoch K|end] [--no-merge-barriers]
- *             [--pin] [--resync] [--watchdog MS] [--validate] [--stats]
- *             [--witness]
+ *             [--batch N] [--pin] [--resync] [--watchdog MS]
+ *             [--validate] [--stats] [--witness]
  *
  *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
  *             aerodrome-basic | velodrome | velodrome-pk
@@ -26,6 +26,10 @@
  *             but detection may lag; implies --no-merge-barriers)
  *   --no-merge-barriers: legacy periodic-only merging; shard violations
  *             between merges are confirmed by suspect-window replay
+ *   --batch:  sharded runs only — transport block size in events: the
+ *             reader stages this many events per shard before publishing
+ *             them into the ring as one block (default: AERO_BATCH env,
+ *             else 256; 1 = per-event transport)
  *   --pin:    pin shard worker s to core s mod hardware_concurrency
  *             (Linux; no-op elsewhere or single-engine)
  *   --resync: skip corrupt records and keep checking (the verdict
@@ -91,6 +95,7 @@ struct Args {
     /** UINT64_MAX - 1: unset (resolve AERO_MERGE_EPOCH env, else 64). */
     uint64_t merge_epoch = kMergeEpochUnset;
     bool merge_barriers = true;
+    uint32_t batch = 0; // 0: AERO_BATCH env, else 256
     bool pin_workers = false;
     bool resync = false;
     uint32_t watchdog_ms = 0;
@@ -169,7 +174,7 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
                  "[--shards N] [--merge-epoch K|end] "
-                 "[--no-merge-barriers] [--pin] [--resync] "
+                 "[--no-merge-barriers] [--batch N] [--pin] [--resync] "
                  "[--watchdog MS] [--validate] [--stats]\n"
                  "engines: aerodrome aerodrome-tuned aerodrome-readopt "
                  "aerodrome-basic velodrome velodrome-pk\n",
@@ -231,6 +236,14 @@ print_shard_stats(const ShardRunResult& r)
                 r.shards, with_commas(r.frontier_merges).c_str(),
                 with_commas(r.barrier_merges).c_str());
     print_counters(r.result.counters);
+    const double avg_run =
+        r.transport_runs ? static_cast<double>(r.transport_run_events) /
+                               static_cast<double>(r.transport_runs)
+                         : 0.0;
+    std::printf("  transport: batch %u, %s blocks pushed (%s partial "
+                "flushes), avg routed-run length %.1f\n",
+                r.batch, with_commas(r.blocks_pushed).c_str(),
+                with_commas(r.partial_flushes).c_str(), avg_run);
     if (r.suspects > 0) {
         std::printf("  suspect replay: %s suspects, %s replays "
                     "(%s confirmed, %s refined, %s upheld)\n",
@@ -264,6 +277,11 @@ main(int argc, char** argv)
                 return usage(argv[0]);
         } else if (a == "--no-merge-barriers") {
             args.merge_barriers = false;
+        } else if (a == "--batch" && i + 1 < argc) {
+            unsigned long v = 0;
+            if (!parse_bounded(argv[++i], 1, 65536, v))
+                return usage(argv[0]);
+            args.batch = static_cast<uint32_t>(v);
         } else if (a == "--pin") {
             args.pin_workers = true;
         } else if (a == "--resync") {
@@ -355,6 +373,7 @@ main(int argc, char** argv)
             sopts.shards = shards;
             sopts.merge_epoch = merge_epoch;
             sopts.divergence_barriers = args.merge_barriers;
+            sopts.batch_size = args.batch; // 0: AERO_BATCH env, else 256
             sopts.pin_workers = args.pin_workers;
             // The replay buffers one merge window of the stream; without
             // periodic merges that window is the whole input, which a

@@ -15,6 +15,7 @@
  */
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "analysis/checker.hpp"
@@ -56,18 +57,20 @@ reopen_update_windows(AdaptiveClockTable& tbl, const TxnTracker& txns,
     }
 }
 
-/** Snapshot every row of `c` into `out` (resets it first). */
+/** Snapshot every row of `c` into `out`: one contiguous memcpy per row
+ *  straight out of the bank's arena (the frontier's dim equals the
+ *  bank's, so rows copy whole — no per-component accessors). */
 inline void
 export_bank_frontier(const ClockBank& c, ClockFrontier& out)
 {
     const uint32_t n = static_cast<uint32_t>(c.rows());
     const uint32_t d = static_cast<uint32_t>(c.dim());
-    out.reset(n, d);
-    for (uint32_t t = 0; t < n; ++t) {
-        ConstClockRef ct = c[t];
-        for (uint32_t j = 0; j < d; ++j)
-            out.set(t, j, ct.get(j));
-    }
+    out.threads = n;
+    out.dim = d;
+    out.values.resize(static_cast<size_t>(n) * d);
+    ClockValue* dst = out.values.data();
+    for (uint32_t t = 0; t < n; ++t, dst += d)
+        std::memcpy(dst, c[t].data(), d * sizeof(ClockValue));
 }
 
 /**
@@ -75,29 +78,36 @@ export_bank_frontier(const ClockBank& c, ClockFrontier& out)
  * byte of any clock that grew in a foreign component and invoking
  * `on_changed(t)` for any clock that grew at all. `c` must already cover
  * in.threads rows and in.dim components.
+ *
+ * The hot case after a frontier merge is "this row already dominates"
+ * (the merged frontier is the pointwise max of all shards, and most rows
+ * came from *this* shard), so each row first runs the SIMD leq kernel
+ * over the raw arrays and only rows that actually grow take the scalar
+ * component loop.
  */
 template <typename OnChanged>
 inline void
 adopt_bank_frontier(ClockBank& c, std::vector<uint8_t>& pure,
                     const ClockFrontier& in, OnChanged on_changed)
 {
-    for (uint32_t t = 0; t < in.threads; ++t) {
+    const ClockValue* row = in.values.data();
+    for (uint32_t t = 0; t < in.threads; ++t, row += in.dim) {
         ClockRef ct = c[t];
-        bool changed = false;
+        if (in.dim <= ct.dim() && vck::leq(row, ct.data(), in.dim))
+            continue; // already dominates: nothing grows
         bool foreign = false;
+        ClockValue* dst = ct.data();
         for (uint32_t j = 0; j < in.dim; ++j) {
-            ClockValue v = in.get(t, j);
-            if (v > ct.get(j)) {
-                ct.set(j, v);
-                changed = true;
+            const ClockValue v = row[j];
+            if (v > dst[j]) {
+                dst[j] = v;
                 if (j != t)
                     foreign = true;
             }
         }
         if (foreign)
             pure[t] = 0;
-        if (changed)
-            on_changed(t);
+        on_changed(t);
     }
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "trace/event.hpp"
+#include "vc/clock_bank.hpp"
 #include "vc/vector_clock.hpp"
 
 namespace aero {
@@ -84,6 +85,13 @@ struct ClockFrontier {
                 for (uint32_t j = 0; j < dim; ++j)
                     grown.set(t, j, get(t, j));
             *this = std::move(grown);
+        }
+        if (o.threads == threads && o.dim == dim) {
+            // Steady state of the sharded runner's merge: identical
+            // layouts, so the join is one flat pointwise-max sweep over
+            // the whole buffer (SIMD kernel, no per-row bounds checks).
+            vck::join(values.data(), o.values.data(), o.values.size());
+            return;
         }
         for (uint32_t t = 0; t < o.threads; ++t) {
             for (uint32_t j = 0; j < o.dim; ++j) {

@@ -16,6 +16,50 @@ modulo_shard_policy(VarId x, uint32_t shards)
     return x % shards;
 }
 
+void
+ShardRouter::classify(const Event* events, size_t n, uint32_t* dst) const
+{
+    if (policy_ == &hash_shard_policy) {
+        // The common policy, inlined: the loop body is a handful of
+        // arithmetic ops and a predictable branch per event.
+        for (size_t i = 0; i < n; ++i) {
+            const Event& e = events[i];
+            dst[i] = op_targets_var(e.op)
+                         ? (shards_ == 1
+                                ? 0u
+                                : ((e.target * 2654435761u) >> 16) % shards_)
+                         : kBroadcast;
+        }
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = shard_of(events[i]);
+}
+
+void
+route_chunk(const ShardRouter& router, MergePlanner& planner,
+            const Event* events, size_t n, uint64_t base_index,
+            uint32_t* dst, std::vector<ShardRun>& runs)
+{
+    router.classify(events, n, dst);
+    ShardRun cur;
+    for (size_t i = 0; i < n; ++i) {
+        const bool merge = planner.merge_before(events[i], base_index + i);
+        if (cur.len != 0 && !merge && dst[i] == cur.shard) {
+            ++cur.len;
+            continue;
+        }
+        if (cur.len != 0)
+            runs.push_back(cur);
+        cur.shard = dst[i];
+        cur.begin = static_cast<uint32_t>(i);
+        cur.len = 1;
+        cur.merge_before = merge;
+    }
+    if (cur.len != 0)
+        runs.push_back(cur);
+}
+
 MergePlanner::MergePlanner(const ShardRouter& router, uint64_t merge_epoch,
                            bool barriers, bool lazy_proxies)
     : router_(router), merge_epoch_(merge_epoch),

@@ -72,6 +72,12 @@ public:
         return kBroadcast;
     }
 
+    /** Classify a span of decoded events in one tight pass: dst[i] is
+     *  the owner shard of events[i], or kBroadcast for replicated ops.
+     *  The default hash policy is inlined so the loop stays branch- and
+     *  call-light. */
+    void classify(const Event* events, size_t n, uint32_t* dst) const;
+
 private:
     uint32_t shards_;
     ShardPolicy policy_;
@@ -82,6 +88,35 @@ struct ProjectedEvent {
     Event event;
     uint64_t index;
 };
+
+/**
+ * One contiguous run of a routed chunk: `len` events starting at
+ * chunk-relative offset `begin` that share a single destination (an
+ * owner shard or kBroadcast). `merge_before` marks a planned frontier
+ * merge immediately before the run's first event — runs are always cut
+ * at merge points, so a merge never lands inside one and block
+ * boundaries cannot move a barrier.
+ */
+struct ShardRun {
+    uint32_t shard = 0;        ///< owner shard, or ShardRouter::kBroadcast
+    uint32_t begin = 0;        ///< chunk-relative index of the first event
+    uint32_t len = 0;          ///< events in the run (>= 1)
+    bool merge_before = false; ///< frontier merge due before events[begin]
+};
+
+class MergePlanner;
+
+/**
+ * Chunked routing kernel: classify `events[0..n)` (at global indices
+ * `base_index + i`), consult the planner once per event in trace order —
+ * so barrier placement is bit-identical to per-event routing — and
+ * append contiguous same-destination runs to `runs`, cut at every
+ * destination change and every planned merge point. `dst` is caller
+ * scratch with room for `n` entries (filled by classify).
+ */
+void route_chunk(const ShardRouter& router, MergePlanner& planner,
+                 const Event* events, size_t n, uint64_t base_index,
+                 uint32_t* dst, std::vector<ShardRun>& runs);
 
 /**
  * Decides, deterministically from the event stream alone, the global

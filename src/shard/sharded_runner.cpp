@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -36,6 +37,25 @@ struct ShardItem {
     uint64_t index = 0;
     uint8_t kind = kEvent;
 };
+
+/** Resolve ShardOptions::batch_size: 0 falls back to the AERO_BATCH
+ *  environment variable, then to 256. Clamped to [1, 65536]. */
+uint32_t
+resolve_batch_size(uint32_t configured)
+{
+    uint64_t batch = configured;
+    if (batch == 0) {
+        batch = 256;
+        if (const char* env = std::getenv("AERO_BATCH")) {
+            char* end = nullptr;
+            const unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && v >= 1)
+                batch = v;
+        }
+    }
+    return static_cast<uint32_t>(
+        std::min<uint64_t>(std::max<uint64_t>(batch, 1), 65536));
+}
 
 /** Worker pop slice: long enough to stay off the fast path, short enough
  *  that an evicted worker notices `failed` and exits promptly. */
@@ -596,7 +616,7 @@ void
 worker_loop(Lane& lane, SpscQueue<ShardItem>* queue,
             AtomicityChecker* engine, MergeBarrier& barrier,
             std::atomic<uint64_t>& stop_at, uint32_t shard, int pin_core,
-            uint64_t my_incarnation)
+            uint64_t my_incarnation, size_t batch)
 {
     if (pin_core >= 0)
         pin_to_core(static_cast<uint32_t>(pin_core));
@@ -614,15 +634,24 @@ worker_loop(Lane& lane, SpscQueue<ShardItem>* queue,
         fired = lane.violation.has_value(); // replacement after a replay fire
     }
     bool poisoned = false;
+    std::vector<ShardItem> block(batch ? batch : 1);
     for (;;) {
-        ShardItem it;
-        while (!queue->pop_wait(it, kPopSliceUs)) {
+        size_t got;
+        while ((got = queue->pop_n_wait(block.data(), block.size(),
+                                        kPopSliceUs)) == 0) {
             if (deposed())
                 return; // evicted while idle
         }
         if (deposed())
             return; // a replacement owns the lane now
+        // One heartbeat covers the whole block: the watchdog keys on
+        // per-batch liveness, and a worker wedged mid-block freezes the
+        // signal just the same.
         lane.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        for (size_t at = 0; at < got; ++at) {
+        const ShardItem& it = block[at];
+        if (at > 0 && deposed())
+            return; // evicted mid-block: stop touching shared state
         if (FaultInjector::instance().armed_for(FaultSite::kWorker)) {
             switch (FaultInjector::instance().worker_action(shard)) {
               case FaultKind::kWorkerKill:
@@ -699,6 +728,7 @@ worker_loop(Lane& lane, SpscQueue<ShardItem>* queue,
             // that would let it drop the window the verdict needs.
             lane.progress.store(UINT64_MAX, std::memory_order_release);
         }
+        } // per-item loop over the popped block
     }
 }
 
@@ -919,9 +949,11 @@ run_sharded(const EngineFactory& factory, EventSource& source,
         FaultInjector::instance().armed_for(FaultSite::kWorker))
         watchdog_ms = 1000;
     const bool recovery_on = watchdog_ms > 0 && opts.max_recoveries > 0;
+    const uint32_t batch = resolve_batch_size(opts.batch_size);
 
     ShardRunResult out;
     out.shards = shards;
+    out.batch = batch;
     SeedLog seeds(replay_active(opts, shards));
     WindowLog windows(replay_active(opts, shards));
     RecoveryCheckpoint ckpt;
@@ -949,7 +981,8 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                              std::ref(barrier), std::ref(stop_at), s,
                              pin_core,
                              lanes[s].incarnation.load(
-                                 std::memory_order_relaxed));
+                                 std::memory_order_relaxed),
+                             static_cast<size_t>(batch));
     };
     for (uint32_t s = 0; s < shards; ++s)
         spawn_worker(s);
@@ -967,13 +1000,13 @@ run_sharded(const EngineFactory& factory, EventSource& source,
     };
 
     /**
-     * The item the reader is currently blocked pushing, if a recovery is
-     * triggered from inside push_item. The recovery replay must know
-     * about it: the push retries into the replacement's queue after the
-     * sweep, so lanes at or past the blocked destination must not also
-     * replay it (they would process it twice), while a marker already
-     * delivered to an earlier lane's (now discarded) queue is one more
-     * generation that lane's replacement owes.
+     * The control item the reader is currently blocked pushing, if a
+     * recovery is triggered from inside push_item. Events travel in
+     * staged blocks (below), so the only single-item pushes left are
+     * kMerge markers and kEof; the recovery replay must know about a
+     * blocked marker because one already delivered to an earlier lane's
+     * (now discarded) queue is one more generation that lane's
+     * replacement owes.
      */
     struct InFlight {
         bool have = false;
@@ -981,6 +1014,31 @@ run_sharded(const EngineFactory& factory, EventSource& source,
         uint64_t index = 0;
         uint8_t kind = ShardItem::kEvent;
     } inflight;
+
+    /**
+     * Per-shard staging blocks: the reader appends routed events here and
+     * publishes each block into its ring with one batched push when it
+     * reaches `batch` events — or earlier, at merge barriers, end of
+     * stream, and abandonment (a partial flush). Events enter the
+     * recovery/window logs at staging time, so a block that has not
+     * reached its ring yet is exactly the log suffix the reader will
+     * still deliver itself; recovery replay skips it (redeliver_floor)
+     * or those events would be fed twice.
+     */
+    std::vector<std::vector<ShardItem>> staged(shards);
+    for (auto& block : staged)
+        block.reserve(batch);
+    uint32_t flushing_shard = UINT32_MAX; // lane mid-flush, if any
+    size_t flush_pos = 0;                 // its items already in the ring
+
+    /** Global index of the first event staged for `s` that is not yet in
+     *  its ring: the reader redelivers everything at or past it, so
+     *  recovery replay stops there. UINT64_MAX when nothing is pending. */
+    auto redeliver_floor = [&](uint32_t s) -> uint64_t {
+        const std::vector<ShardItem>& block = staged[s];
+        const size_t pos = flushing_shard == s ? flush_pos : 0;
+        return pos < block.size() ? block[pos].index : UINT64_MAX;
+    };
 
     /**
      * Replace (or, past max_recoveries, abandon) an already-evicted
@@ -1033,6 +1091,7 @@ run_sharded(const EngineFactory& factory, EventSource& source,
             owed = barrier.admit(s, issued_hi);
         }
         const uint64_t completed = barrier.completed_generations();
+        const uint64_t floor = redeliver_floor(s);
 
         bool exact = ckpt_gen == ReplayWindow::kNoGeneration &&
                      completed == 0 && recovery_log.complete() &&
@@ -1060,13 +1119,10 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                         const uint32_t dst = router.shard_of(pe.event);
                         if (dst != s && dst != ShardRouter::kBroadcast)
                             continue;
-                        // The blocked push delivers this event to the
-                        // replacement's queue itself once the sweep
+                        // Staged but not yet in any ring: the reader
+                        // still delivers it itself once the sweep
                         // returns; replaying it too would feed it twice.
-                        if (inflight.have &&
-                            inflight.kind == ShardItem::kEvent &&
-                            pe.index == inflight.index &&
-                            s >= inflight.shard)
+                        if (pe.index >= floor)
                             continue;
                         if (pe.index >
                             stop_at.load(std::memory_order_relaxed))
@@ -1158,10 +1214,8 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                 const uint32_t dst = router.shard_of(pe.event);
                 if (dst != s && dst != ShardRouter::kBroadcast)
                     continue;
-                if (inflight.have &&
-                    inflight.kind == ShardItem::kEvent &&
-                    pe.index == inflight.index && s >= inflight.shard)
-                    continue; // the blocked push redelivers it
+                if (pe.index >= floor)
+                    continue; // still staged: the reader redelivers it
                 ShardItem it;
                 it.event = pe.event;
                 it.index = pe.index;
@@ -1254,19 +1308,61 @@ run_sharded(const EngineFactory& factory, EventSource& source,
         }
     };
 
-    auto route = [&](const ShardItem& it, uint32_t dst) {
-        if (dst == ShardRouter::kBroadcast) {
-            for (uint32_t s = 0; s < shards; ++s)
-                push_item(s, it);
-        } else {
-            push_item(dst, it);
+    /**
+     * Publish shard `s`'s staged block into its ring: each iteration
+     * reserves as many slots as the ring has free with one
+     * acquire/release pair (spsc_queue.hpp's batch push). A push that
+     * makes no progress for a full slice re-runs the health sweep, which
+     * may recover or abandon the lane mid-flush — redeliver_floor keeps
+     * the not-yet-pushed suffix out of the recovery replay, and the loop
+     * resumes into the replacement queue, so shutdown-while-full drains
+     * the partial block without loss or duplication. With ring faults
+     * armed the loop degrades to per-item pushes so the injector's
+     * one-hit-per-push-attempt accounting is preserved.
+     */
+    auto flush_lane = [&](uint32_t s) {
+        std::vector<ShardItem>& block = staged[s];
+        if (block.empty())
+            return;
+        ++out.blocks_pushed;
+        if (block.size() < batch)
+            ++out.partial_flushes;
+        flushing_shard = s;
+        flush_pos = 0;
+        while (flush_pos < block.size()) {
+            Lane& lane = lanes[s]; // recovery may swap the queue
+            if (lane.abandoned || !lane.queue) {
+                out.events_dropped += block.size() - flush_pos;
+                break;
+            }
+            if (ring_faults && FaultInjector::instance().ring_full(s)) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                continue;
+            }
+            const size_t want = block.size() - flush_pos;
+            const size_t pushed =
+                ring_faults
+                    ? (lane.queue->push_wait(block[flush_pos], push_slice)
+                           ? 1
+                           : 0)
+                    : lane.queue->push_n_wait(block.data() + flush_pos,
+                                              want, push_slice);
+            flush_pos += pushed;
+            if (pushed < want)
+                watchdog_sweep(/*draining=*/false);
         }
+        flushing_shard = UINT32_MAX;
+        block.clear();
     };
 
-    /** Orderly pipeline drain: kEof to every live lane, then wait (still
-     *  sweeping — a worker may die holding the eof) for each lane to
-     *  settle, then join every thread ever spawned. */
+    /** Orderly pipeline drain: staged partial blocks out first, then
+     *  kEof to every live lane, then wait (still sweeping — a worker may
+     *  die holding the eof) for each lane to settle, then join every
+     *  thread ever spawned. */
     auto shut_down = [&] {
+        for (uint32_t s = 0; s < shards; ++s)
+            flush_lane(s);
         ShardItem eof;
         eof.kind = ShardItem::kEof;
         for (uint32_t s = 0; s < shards; ++s)
@@ -1295,57 +1391,114 @@ run_sharded(const EngineFactory& factory, EventSource& source,
     };
 
     try {
-        Event e;
-        while (source.next(e)) {
-            if (limited && (index % opts.budget.check_interval) == 0 &&
-                watch.elapsed_seconds() > opts.budget.max_seconds) {
-                out.result.timed_out = true;
-                break;
-            }
-            // Anything past the earliest reported violation cannot affect
-            // the joined verdict; stop decoding.
-            if (index > stop_at.load(std::memory_order_relaxed))
-                break;
-            if (planner.merge_before(e, index)) {
-                // Markers go to *every* queue before any later event, so
-                // each barrier generation is complete once issued.
-                ShardItem m;
-                m.kind = ShardItem::kMerge;
-                m.index = merge_generation; // the generation it completes
-                for (uint32_t s = 0; s < shards; ++s)
-                    push_item(s, m);
-                windows.rotate(merge_generation, index);
-                recovery_log.rotate(merge_generation, index);
-                ++merge_generation;
-                {
-                    std::lock_guard<std::mutex> lk(ckpt.mu);
-                    if (ckpt.has)
-                        recovery_log.prune_to(ckpt.generation);
+        std::vector<Event> chunk(batch);
+        std::vector<uint32_t> chunk_dst(batch);
+        std::vector<ShardRun> runs;
+        uint64_t next_sweep = 1024;
+        bool eof = false;
+        while (!eof) {
+            // Decode up to one block of events. Budget and stop checks
+            // keep their per-event cadence inside the sizing loop, and
+            // corrupt input is a structured outcome, not an unwind: the
+            // events that did decode still route below.
+            size_t n = 0;
+            bool stop = false;
+            while (n < batch) {
+                const uint64_t gi = index + n;
+                if (limited && (gi % opts.budget.check_interval) == 0 &&
+                    watch.elapsed_seconds() > opts.budget.max_seconds) {
+                    out.result.timed_out = true;
+                    stop = true;
+                    break;
                 }
-                // Horizon first, suspect minimum second: the acquire in
-                // min_progress orders any fired lane's stop_at update
-                // before this load.
-                const uint64_t horizon = min_progress(lanes);
-                windows.prune(horizon,
-                              stop_at.load(std::memory_order_relaxed),
-                              seeds);
+                // Anything past the earliest reported violation cannot
+                // affect the joined verdict; stop decoding.
+                if (gi > stop_at.load(std::memory_order_relaxed)) {
+                    stop = true;
+                    break;
+                }
+                bool got = false;
+                try {
+                    got = source.next(chunk[n]);
+                } catch (const StreamCorruption& ex) {
+                    out.result.stream_error = ex.error();
+                    stop = true;
+                    break;
+                }
+                if (!got) {
+                    eof = true;
+                    break;
+                }
+                ++n;
             }
-            windows.record(e, index);
-            recovery_log.record(e, index);
-            ShardItem it;
-            it.event = e;
-            it.index = index;
-            it.kind = ShardItem::kEvent;
-            route(it, router.shard_of(e));
-            ++index;
-            if (watchdog_ms > 0 && (index & 0x3ff) == 0)
+            // One classification pass over the chunk, then contiguous
+            // same-shard runs. Runs are cut at every planned merge, so
+            // block boundaries never move a barrier.
+            runs.clear();
+            route_chunk(router, planner, chunk.data(), n, index,
+                        chunk_dst.data(), runs);
+            for (const ShardRun& run : runs) {
+                if (run.merge_before) {
+                    // Staged blocks out first, then markers to *every*
+                    // queue before any later event: each barrier
+                    // generation is complete once issued, and no staged
+                    // event may straddle it.
+                    for (uint32_t s = 0; s < shards; ++s)
+                        flush_lane(s);
+                    ShardItem m;
+                    m.kind = ShardItem::kMerge;
+                    m.index = merge_generation; // generation it completes
+                    for (uint32_t s = 0; s < shards; ++s)
+                        push_item(s, m);
+                    windows.rotate(merge_generation, index + run.begin);
+                    recovery_log.rotate(merge_generation,
+                                        index + run.begin);
+                    ++merge_generation;
+                    {
+                        std::lock_guard<std::mutex> lk(ckpt.mu);
+                        if (ckpt.has)
+                            recovery_log.prune_to(ckpt.generation);
+                    }
+                    // Horizon first, suspect minimum second: the acquire
+                    // in min_progress orders any fired lane's stop_at
+                    // update before this load.
+                    const uint64_t horizon = min_progress(lanes);
+                    windows.prune(horizon,
+                                  stop_at.load(std::memory_order_relaxed),
+                                  seeds);
+                }
+                ++out.transport_runs;
+                out.transport_run_events += run.len;
+                for (uint32_t i = run.begin; i < run.begin + run.len;
+                     ++i) {
+                    const uint64_t gi = index + i;
+                    windows.record(chunk[i], gi);
+                    recovery_log.record(chunk[i], gi);
+                    ShardItem it;
+                    it.event = chunk[i];
+                    it.index = gi;
+                    it.kind = ShardItem::kEvent;
+                    if (run.shard == ShardRouter::kBroadcast) {
+                        for (uint32_t s = 0; s < shards; ++s) {
+                            staged[s].push_back(it);
+                            if (staged[s].size() >= batch)
+                                flush_lane(s);
+                        }
+                    } else {
+                        staged[run.shard].push_back(it);
+                        if (staged[run.shard].size() >= batch)
+                            flush_lane(run.shard);
+                    }
+                }
+            }
+            index += n;
+            if (stop)
+                break;
+            if (watchdog_ms > 0 && index >= next_sweep) {
                 watchdog_sweep(/*draining=*/false);
+                next_sweep = index + 1024;
+            }
         }
-    } catch (const StreamCorruption& ex) {
-        // Corrupt input is a structured outcome, not an unwind: record
-        // it, drain the pipeline, and join verdicts over the events that
-        // did decode.
-        out.result.stream_error = ex.error();
     } catch (...) {
         shut_down(); // unexpected failure: unwind the pipeline first
         throw;
@@ -1378,8 +1531,11 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
     reserve_lanes(lanes, trace.num_threads(), trace.num_vars(),
                   trace.num_locks());
 
+    const uint32_t batch = resolve_batch_size(opts.batch_size);
+
     ShardRunResult out;
     out.shards = shards;
+    out.batch = batch;
     SeedLog seeds(replay_active(opts, shards));
     WindowLog windows(replay_active(opts, shards));
     FrontierMerger merger;
@@ -1388,62 +1544,79 @@ run_sharded_inline(const EngineFactory& factory, const Trace& trace,
                          lanes[0].engine->uses_live_clock_proxies());
     uint64_t stop_at = UINT64_MAX;
     uint64_t merge_generation = 0;
-    std::vector<std::vector<ProjectedEvent>> pending(shards);
 
     PanicContextScope panic_scope;
 
-    // Between two merges the lanes share no state, so processing each
-    // lane's pending slice in turn is observably identical to the
-    // threaded driver's arbitrary interleaving.
-    auto flush = [&] {
-        for (uint32_t s = 0; s < shards; ++s) {
-            Lane& lane = lanes[s];
-            for (const ProjectedEvent& pe : pending[s]) {
-                if (lane.violation || pe.index > stop_at)
-                    continue;
-                lane.processed.fetch_add(1, std::memory_order_relaxed);
-                panic_scope.set_index(pe.index);
-                if (lane.engine->process(pe.event, pe.index)) {
-                    lane.violation = lane.engine->violation();
-                    if (pe.index < stop_at)
-                        stop_at = pe.index;
-                }
-            }
-            pending[s].clear();
+    // Feed one event straight to a lane's engine: same-shard runs are
+    // processed in place — no pending buffers, no queue machinery.
+    // Between two merges the lanes share no state, so per-run processing
+    // order is observably identical to the threaded driver's arbitrary
+    // interleaving.
+    auto feed = [&](Lane& lane, const Event& e, uint64_t gi) {
+        if (lane.violation || gi > stop_at)
+            return;
+        lane.processed.fetch_add(1, std::memory_order_relaxed);
+        panic_scope.set_index(gi);
+        if (lane.engine->process(e, gi)) {
+            lane.violation = lane.engine->violation();
+            if (gi < stop_at)
+                stop_at = gi;
         }
     };
 
     Stopwatch watch;
     const bool limited = opts.budget.max_seconds > 0;
     const auto& events = trace.events();
+    std::vector<uint32_t> chunk_dst(batch);
+    std::vector<ShardRun> runs;
     uint64_t index = 0;
-    for (; index < events.size(); ++index) {
-        const Event& e = events[index];
-        if (limited && (index % opts.budget.check_interval) == 0 &&
-            watch.elapsed_seconds() > opts.budget.max_seconds) {
-            out.result.timed_out = true;
-            break;
+    bool stop = false;
+    while (index < events.size() && !stop) {
+        // Size the chunk with the same per-event budget/stop cadence the
+        // threaded reader uses, then classify it in one pass.
+        const size_t want =
+            std::min<size_t>(batch, events.size() - index);
+        size_t n = 0;
+        while (n < want) {
+            const uint64_t gi = index + n;
+            if (limited && (gi % opts.budget.check_interval) == 0 &&
+                watch.elapsed_seconds() > opts.budget.max_seconds) {
+                out.result.timed_out = true;
+                stop = true;
+                break;
+            }
+            if (gi > stop_at) {
+                stop = true;
+                break;
+            }
+            ++n;
         }
-        if (index > stop_at)
-            break;
-        if (planner.merge_before(e, index)) {
-            flush();
-            merger.merge(lanes);
-            seeds.capture(lanes, merge_generation);
-            ++out.frontier_merges;
-            windows.rotate(merge_generation++, index);
-            windows.prune(index, stop_at, seeds);
+        runs.clear();
+        route_chunk(router, planner, events.data() + index, n, index,
+                    chunk_dst.data(), runs);
+        for (const ShardRun& run : runs) {
+            if (run.merge_before) {
+                merger.merge(lanes);
+                seeds.capture(lanes, merge_generation);
+                ++out.frontier_merges;
+                windows.rotate(merge_generation++, index + run.begin);
+                windows.prune(index + run.begin, stop_at, seeds);
+            }
+            ++out.transport_runs;
+            out.transport_run_events += run.len;
+            for (uint32_t i = run.begin; i < run.begin + run.len; ++i) {
+                const uint64_t gi = index + i;
+                windows.record(events[index + i], gi);
+                if (run.shard == ShardRouter::kBroadcast) {
+                    for (auto& lane : lanes)
+                        feed(lane, events[index + i], gi);
+                } else {
+                    feed(lanes[run.shard], events[index + i], gi);
+                }
+            }
         }
-        windows.record(e, index);
-        const uint32_t dst = router.shard_of(e);
-        if (dst == ShardRouter::kBroadcast) {
-            for (auto& lane : pending)
-                lane.push_back({e, index});
-        } else {
-            pending[dst].push_back({e, index});
-        }
+        index += n;
     }
-    flush();
 
     out.barrier_merges = planner.barrier_merges();
     join_verdicts(factory, lanes, windows, seeds, out, index);

@@ -106,6 +106,14 @@ struct ShardOptions {
     ShardPolicy policy = &hash_shard_policy;
     /** Bounded per-shard queue size (threaded driver only). */
     size_t queue_capacity = 4096;
+    /** Transport block size in events: how many events the reader stages
+     *  per shard before publishing them into the ring as one block (one
+     *  reservation), and the unit of worker pops, heartbeats and
+     *  watchdog accounting. Blocks are cut early at merge barriers,
+     *  end-of-stream and shard abandonment, so barrier placement is
+     *  unaffected. 0 resolves from the AERO_BATCH environment variable,
+     *  falling back to 256; 1 degenerates to per-event transport. */
+    uint32_t batch_size = 0;
     /** Pin shard worker s to core s mod hardware_concurrency (threaded
      *  driver, Linux only; elsewhere a no-op). Keeps each engine's banks
      *  and arena resident in one core's cache — and, on NUMA machines,
@@ -153,6 +161,18 @@ struct ShardRunResult {
     uint64_t shards_abandoned = 0;
     /** Events routed to an abandoned shard and discarded. */
     uint64_t events_dropped = 0;
+    /** Resolved transport block size (ShardOptions::batch_size after the
+     *  AERO_BATCH fallback). */
+    uint32_t batch = 1;
+    /** Blocks published into the rings (threaded driver). */
+    uint64_t blocks_pushed = 0;
+    /** Blocks flushed before reaching `batch` events (cut at a merge
+     *  barrier, end of stream, stop, or shard abandonment). */
+    uint64_t partial_flushes = 0;
+    /** Contiguous same-destination runs the routing kernel emitted, and
+     *  the events they covered (avg run length = events / runs). */
+    uint64_t transport_runs = 0;
+    uint64_t transport_run_events = 0;
     /** Per-shard counters() breakdown, indexed by shard. */
     std::vector<StatList> shard_counters;
     /** Events each shard actually processed (after projection). */

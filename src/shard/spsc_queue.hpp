@@ -23,8 +23,16 @@
  * the worker, run the watchdog — never as an unbounded spin. The bound
  * is accounted coarsely (whole sleep quanta) to keep the fast path free
  * of clock reads.
+ *
+ * Batch variants (try_push_n/try_pop_n and the waiting forms) move a
+ * whole block of slots per reservation: one acquire of the opposite
+ * index and one release of the own index cover the entire block, so the
+ * per-item synchronization cost of the transport is paid once per block.
+ * Slot storage is contiguous, so the copies are straight memmoves for
+ * trivially copyable T (split in two at the wrap point).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -132,6 +140,58 @@ public:
     /** Producer side; backs off while the ring is full. */
     void push(const T& item) { push_wait(item, 0); }
 
+    /**
+     * Producer side, batched: push up to `n` items from `items` with one
+     * reservation — a single acquire of the consumer's index and a single
+     * release of the producer's, however many items fit.
+     * @return items pushed (0 when the ring is full).
+     */
+    size_t
+    try_push_n(const T* items, size_t n)
+    {
+        const size_t tail = tail_.load(std::memory_order_relaxed);
+        size_t free_slots = (head_cache_ + mask_ - tail) & mask_;
+        if (free_slots < n) {
+            head_cache_ = head_.load(std::memory_order_acquire);
+            free_slots = (head_cache_ + mask_ - tail) & mask_;
+            if (free_slots == 0)
+                return 0;
+        }
+        const size_t m = std::min(n, free_slots);
+        const size_t first = std::min(m, buf_.size() - tail);
+        std::copy_n(items, first, buf_.begin() + tail);
+        std::copy_n(items + first, m - first, buf_.begin());
+        tail_.store((tail + m) & mask_, std::memory_order_release);
+        return m;
+    }
+
+    /**
+     * Producer side, batched and blocking: pushes all `n` items, backing
+     * off whenever the ring fills, for at most `max_wait_us` total
+     * (0 = wait forever, the same convention as push_wait).
+     * @return items pushed — `n` on success, fewer on timeout. Partial
+     * progress is durable: items [0, return) sit in the ring exactly
+     * once, so a caller that later retries with the remainder neither
+     * loses nor duplicates (the shutdown-while-full drain contract).
+     */
+    size_t
+    push_n_wait(const T* items, size_t n, uint64_t max_wait_us)
+    {
+        size_t done = 0;
+        SpscBackoff backoff(max_wait_us);
+        while (done < n) {
+            const size_t pushed = try_push_n(items + done, n - done);
+            if (pushed > 0) {
+                done += pushed;
+                backoff.reset();
+                continue;
+            }
+            if (!backoff.pause())
+                break;
+        }
+        return done;
+    }
+
     /** Consumer side. @return false when the ring is empty. */
     bool
     try_pop(T& out)
@@ -168,6 +228,50 @@ public:
         T out;
         pop_wait(out, 0);
         return out;
+    }
+
+    /**
+     * Consumer side, batched: pop up to `n` items into `out` with one
+     * reservation (one acquire of the producer's index, one release of
+     * the consumer's). @return items popped (0 when empty).
+     */
+    size_t
+    try_pop_n(T* out, size_t n)
+    {
+        const size_t head = head_.load(std::memory_order_relaxed);
+        size_t avail = (tail_cache_ - head) & mask_;
+        if (avail == 0) {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            avail = (tail_cache_ - head) & mask_;
+            if (avail == 0)
+                return 0;
+        }
+        const size_t m = std::min(n, avail);
+        const size_t first = std::min(m, buf_.size() - head);
+        std::copy_n(buf_.begin() + head, first, out);
+        std::copy_n(buf_.begin(), m - first, out + first);
+        head_.store((head + m) & mask_, std::memory_order_release);
+        return m;
+    }
+
+    /**
+     * Consumer side, batched and blocking: waits until at least one item
+     * is available, then pops as many as are ready (up to `n`). Backs
+     * off on empty for at most `max_wait_us` total (0 = wait forever,
+     * the same convention as pop_wait).
+     * @return items popped; 0 only on timeout.
+     */
+    size_t
+    pop_n_wait(T* out, size_t n, uint64_t max_wait_us)
+    {
+        SpscBackoff backoff(max_wait_us);
+        for (;;) {
+            const size_t popped = try_pop_n(out, n);
+            if (popped > 0)
+                return popped;
+            if (!backoff.pause())
+                return 0;
+        }
     }
 
     size_t capacity() const { return buf_.size() - 1; }

@@ -23,6 +23,12 @@
  * Determinism: these runs use the inline driver, whose semantics are
  * identical to the threaded pipeline (enforced by shard_test); a
  * threaded spot check runs on a small subset here.
+ *
+ * The transport block size (ShardOptions::batch_size) is pure plumbing
+ * and must be verdict-invariant: a dedicated sweep holds the threaded
+ * pipeline to bit-exactness at batch {1, 7, 64, 256}, and the
+ * worker-failure matrix re-runs its kill/stall contract at batch {1, 64}
+ * so recovery mid-block is covered too.
  */
 
 #include <gtest/gtest.h>
@@ -592,6 +598,55 @@ TEST(ShardParityAdversarial, ThreadedExactEpochSpotCheck)
     }
 }
 
+// --- Batch-size invariance ---------------------------------------------------
+//
+// The block transport (src/shard/README.md, "Block transport") cuts
+// runs at every planned merge point, so barrier placement — and with it
+// the verdict — cannot depend on the block size. Hold the threaded
+// pipeline to bit-exactness across batch sizes spanning degenerate
+// (1, per-event), misaligned (7), and realistic (64, 256) blocks.
+
+TEST(ShardParityBatch, ThreadedVerdictsAreBatchInvariant)
+{
+    std::vector<Trace> traces = {cross_shard_cycle(), three_shard_cycle(),
+                                 cross_shard_serializable()};
+    for (uint32_t hops : {2u, 3u}) {
+        gen::CrossShardAdversaryOptions params;
+        params.hops = hops;
+        traces.push_back(gen::make_cross_shard_adversary(params));
+    }
+    for (uint64_t seed : {uint64_t{9000}, uint64_t{9104}})
+        traces.push_back(fuzz_trace(seed, 4, 6, 2, 0.8));
+
+    for (size_t ti = 0; ti < traces.size(); ++ti) {
+        const Trace& t = traces[ti];
+        RunResult expected = baseline<AeroDromeOpt>(t, true);
+        for (uint32_t batch : {1u, 7u, 64u, 256u}) {
+            for (uint64_t merge_epoch :
+                 {uint64_t{4}, ShardOptions::kMergeEndOnly}) {
+                ShardOptions opts;
+                opts.shards = 2;
+                opts.merge_epoch = merge_epoch;
+                opts.policy = &modulo_shard_policy;
+                opts.batch_size = batch;
+                ShardRunResult r =
+                    run_sharded(factory<AeroDromeOpt>(true), t, opts);
+                SCOPED_TRACE(::testing::Message()
+                             << "trace=" << ti << " batch=" << batch
+                             << " merge_epoch=" << merge_epoch);
+                EXPECT_EQ(r.batch, batch);
+                ASSERT_EQ(r.result.violation, expected.violation);
+                if (expected.violation) {
+                    EXPECT_EQ(r.result.details->event_index,
+                              expected.details->event_index);
+                    EXPECT_EQ(r.result.details->thread,
+                              expected.details->thread);
+                }
+            }
+        }
+    }
+}
+
 // --- Worker-failure parity matrix -------------------------------------------
 //
 // The recovery path (src/shard/README.md, "Failure model") promises: a
@@ -698,6 +753,71 @@ TEST(ShardWorkerFailure, KillAndStallMatrixMatchesOracleOrDegrades)
                         // Degraded completions keep soundness: a reported
                         // violation is real, so the oracle must violate
                         // at or before it.
+                        ASSERT_TRUE(expected.violation);
+                        EXPECT_GE(r.result.details->event_index,
+                                  expected.details->event_index);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ShardWorkerFailure, KillAndStallMatrixHoldsUnderBatchedTransport)
+{
+    // Same contract as the matrix above, re-run with the block transport
+    // engaged: batch 1 (every event its own block) and batch 64 (a whole
+    // ring's worth staged per publish, so a kill mid-block forces the
+    // reader's redeliver-floor path). Recovery must still land on the
+    // exact oracle verdict or finish degraded-but-sound.
+    struct Workload {
+        const char* name;
+        Trace trace;
+    };
+    const Workload workloads[] = {
+        {"serializable", failure_matrix_serializable()},
+        {"violating", failure_matrix_violating()},
+    };
+    for (const Workload& wl : workloads) {
+        RunResult expected = baseline<AeroDromeOpt>(wl.trace, true);
+        for (FaultKind kind :
+             {FaultKind::kWorkerKill, FaultKind::kWorkerStall}) {
+            for (uint32_t batch : {1u, 64u}) {
+                for (uint64_t trigger : {uint64_t{0}, uint64_t{5}}) {
+                    SCOPED_TRACE(::testing::Message()
+                                 << wl.name << " kind="
+                                 << fault_kind_name(kind)
+                                 << " batch=" << batch
+                                 << " trigger=" << trigger);
+                    FaultPlan plan;
+                    plan.site = FaultSite::kWorker;
+                    plan.kind = kind;
+                    plan.trigger = trigger;
+                    plan.shard = 1;
+                    plan.duration = 2000; // stall cap >> watchdog
+                    ArmedPlan armed(plan);
+
+                    ShardOptions opts;
+                    opts.shards = 2;
+                    opts.merge_epoch = 4;
+                    opts.policy = &modulo_shard_policy;
+                    opts.queue_capacity = 64;
+                    opts.watchdog_ms = 150;
+                    opts.batch_size = batch;
+                    ShardRunResult r =
+                        run_sharded(factory<AeroDromeOpt>(true), wl.trace,
+                                    opts);
+                    ASSERT_GE(r.recoveries, 1u)
+                        << "the injected failure never tripped recovery";
+                    if (!r.result.degraded) {
+                        ASSERT_EQ(r.result.violation, expected.violation);
+                        if (expected.violation) {
+                            EXPECT_EQ(r.result.details->event_index,
+                                      expected.details->event_index);
+                            EXPECT_EQ(r.result.details->thread,
+                                      expected.details->thread);
+                        }
+                    } else if (r.result.violation) {
                         ASSERT_TRUE(expected.violation);
                         EXPECT_GE(r.result.details->event_index,
                                   expected.details->event_index);

@@ -13,16 +13,23 @@
  *   - shutdown-while-full: the runner's shutdown pushes an EOF marker
  *     with a blocking push() that may find the ring completely full and
  *     must still hand every prior item over, in order, to a consumer
- *     that drains late.
+ *     that drains late;
+ *   - batch transport: try_push_n/try_pop_n and their waiting variants
+ *     (the block transport of the sharded reader) must keep exact FIFO
+ *     order across wraparound splits, partial reservations, mixed
+ *     single/batch producers and consumers, and shutdown with a partial
+ *     block still in flight.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <random>
 #include <thread>
+#include <vector>
 
 #include "shard/spsc_queue.hpp"
 
@@ -199,6 +206,214 @@ TEST(SpscStress, BoundedWaitSurfacesADeadPartnerThenRecovers)
     Item leftover;
     EXPECT_FALSE(q.try_pop(leftover));
     EXPECT_FALSE(q.pop_wait(leftover, /*max_wait_us=*/5000))
+        << "drained ring with no producer must time out";
+}
+
+/** Batch-variant counterpart of run_stream: producer pushes blocks of
+ *  `prod_block`, consumer pops blocks of `cons_block`; strict FIFO must
+ *  hold across every wraparound split and partial reservation. */
+void
+run_block_stream(size_t capacity, uint64_t n, size_t prod_block,
+                 size_t cons_block, uint32_t seed, int prod_sleep,
+                 int cons_sleep)
+{
+    SpscQueue<Item> q(capacity);
+    std::thread producer([&] {
+        Pacing pace(seed, 5, prod_sleep);
+        std::vector<Item> block(prod_block);
+        uint64_t next = 0;
+        while (next < n) {
+            const size_t m =
+                std::min<uint64_t>(prod_block, n - next);
+            for (size_t i = 0; i < m; ++i)
+                block[i] = {next + i, false};
+            size_t done = 0;
+            while (done < m) {
+                // max_wait_us == 0: wait forever — the batch variants'
+                // "no deadline" convention, same as push()/pop().
+                done += q.push_n_wait(block.data() + done, m - done,
+                                      /*max_wait_us=*/0);
+            }
+            next += m;
+            pace.step();
+        }
+        q.push({n, true});
+    });
+
+    Pacing pace(seed + 1, 5, cons_sleep);
+    std::vector<Item> block(cons_block);
+    uint64_t expect = 0;
+    bool eof = false;
+    while (!eof) {
+        const size_t got =
+            q.pop_n_wait(block.data(), cons_block, /*max_wait_us=*/0);
+        ASSERT_GT(got, 0u);
+        for (size_t i = 0; i < got; ++i) {
+            if (block[i].eof) {
+                EXPECT_EQ(block[i].seq, n);
+                EXPECT_EQ(i, got - 1) << "items after EOF in a block";
+                eof = true;
+                break;
+            }
+            ASSERT_EQ(block[i].seq, expect) << "FIFO order broken";
+            ++expect;
+        }
+        pace.step();
+    }
+    producer.join();
+    EXPECT_EQ(expect, n);
+}
+
+TEST(SpscStress, BatchTransportWrapsTinyRingsInOrder)
+{
+    // Blocks larger than the ring: every reservation is partial and
+    // nearly every one splits across the wrap boundary.
+    run_block_stream(/*capacity=*/2, /*n=*/40000, /*prod_block=*/7,
+                     /*cons_block=*/5, /*seed=*/31, 0, 0);
+    // Blocks at exactly the ring capacity and at 1 (degenerate).
+    run_block_stream(/*capacity=*/8, /*n=*/20000, /*prod_block=*/8,
+                     /*cons_block=*/8, /*seed=*/32, 0, 0);
+    run_block_stream(/*capacity=*/4, /*n=*/5000, /*prod_block=*/1,
+                     /*cons_block=*/1, /*seed=*/33, 0, 0);
+}
+
+TEST(SpscStress, BatchTransportSurvivesRandomizedPacing)
+{
+    for (uint32_t seed : {41u, 42u, 43u}) {
+        run_block_stream(/*capacity=*/16, /*n=*/8000, /*prod_block=*/13,
+                         /*cons_block=*/6, seed, /*prod_sleep=*/2,
+                         /*cons_sleep=*/2);
+    }
+}
+
+TEST(SpscStress, MixedSingleAndBatchProducersKeepFifo)
+{
+    // The runner mixes batch pushes (event blocks) with single-item
+    // pushes (markers, EOF) on the same ring; the consumer likewise
+    // mixes pop() with pop_n_wait. Order must stay exact.
+    SpscQueue<Item> q(8);
+    const uint64_t n = 30000;
+    std::thread producer([&] {
+        std::mt19937 rng(51);
+        std::vector<Item> block(5);
+        uint64_t next = 0;
+        while (next < n) {
+            if (rng() % 3 == 0) {
+                q.push({next++, false});
+                continue;
+            }
+            const size_t m = std::min<uint64_t>(1 + rng() % 5, n - next);
+            for (size_t i = 0; i < m; ++i)
+                block[i] = {next + i, false};
+            size_t done = 0;
+            while (done < m)
+                done += q.push_n_wait(block.data() + done, m - done, 0);
+            next += m;
+        }
+        q.push({n, true});
+    });
+
+    std::mt19937 rng(52);
+    std::vector<Item> block(6);
+    uint64_t expect = 0;
+    bool eof = false;
+    while (!eof) {
+        if (rng() % 3 == 0) {
+            Item it = q.pop();
+            if (it.eof) {
+                EXPECT_EQ(it.seq, n);
+                break;
+            }
+            ASSERT_EQ(it.seq, expect++);
+            continue;
+        }
+        const size_t got = q.pop_n_wait(block.data(), 1 + rng() % 6, 0);
+        ASSERT_GT(got, 0u);
+        for (size_t i = 0; i < got; ++i) {
+            if (block[i].eof) {
+                EXPECT_EQ(block[i].seq, n);
+                eof = true;
+                break;
+            }
+            ASSERT_EQ(block[i].seq, expect++);
+        }
+    }
+    producer.join();
+    EXPECT_EQ(expect, n);
+}
+
+TEST(SpscStress, BatchShutdownWhileFullDrainsThePartialBlock)
+{
+    // The runner's shutdown flushes a partial staged block into a ring
+    // that may be full: push_n_wait makes partial progress (items [0,
+    // ret) are in the ring exactly once), the caller retries with the
+    // remainder, and a late consumer still sees every item once, in
+    // order — the no-loss/no-duplication contract.
+    for (int round = 0; round < 32; ++round) {
+        SpscQueue<Item> q(4);
+        for (int i = 0; i < round % 5; ++i) { // shift the ring's offset
+            q.push({0, false});
+            Item dummy;
+            ASSERT_TRUE(q.try_pop(dummy));
+        }
+        uint64_t pushed = 0;
+        while (q.try_push({pushed, false}))
+            ++pushed;
+
+        // Partial block: 3 events + EOF, pushed against the full ring.
+        const uint64_t total = pushed + 3;
+        std::thread producer([&] {
+            Item tail[4] = {{pushed, false},
+                            {pushed + 1, false},
+                            {pushed + 2, false},
+                            {total, true}};
+            size_t done = 0;
+            while (done < 4) {
+                const size_t got =
+                    q.push_n_wait(tail + done, 4 - done,
+                                  /*max_wait_us=*/2000);
+                done += got; // timeouts interleave with progress
+            }
+        });
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+
+        uint64_t expect = 0;
+        for (;;) {
+            Item it = q.pop();
+            if (it.eof) {
+                EXPECT_EQ(it.seq, total);
+                break;
+            }
+            ASSERT_EQ(it.seq, expect);
+            ++expect;
+        }
+        producer.join();
+        EXPECT_EQ(expect, total);
+        Item leftover;
+        EXPECT_FALSE(q.try_pop(leftover)) << "items after EOF";
+    }
+}
+
+TEST(SpscStress, BatchBoundedWaitTimesOutAndRecovers)
+{
+    SpscQueue<Item> q(4);
+    std::vector<Item> block(8);
+    for (size_t i = 0; i < block.size(); ++i)
+        block[i] = {i, false};
+    // No consumer: the batch push fills the ring, then times out with
+    // partial progress reported.
+    const size_t pushed =
+        q.push_n_wait(block.data(), block.size(), /*max_wait_us=*/5000);
+    EXPECT_EQ(pushed, q.capacity());
+    std::vector<Item> out(8);
+    size_t got = 0;
+    while (got < pushed)
+        got += q.pop_n_wait(out.data() + got, out.size() - got,
+                            /*max_wait_us=*/5000);
+    for (size_t i = 0; i < got; ++i)
+        EXPECT_EQ(out[i].seq, i);
+    EXPECT_EQ(q.pop_n_wait(out.data(), out.size(), /*max_wait_us=*/5000),
+              0u)
         << "drained ring with no producer must time out";
 }
 
