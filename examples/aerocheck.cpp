@@ -11,7 +11,7 @@
  *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
  *             [--shards N] [--merge-epoch K|end] [--no-merge-barriers]
  *             [--batch N] [--pin] [--resync] [--watchdog MS]
- *             [--validate] [--stats] [--witness]
+ *             [--gc=on|off] [--validate] [--stats] [--witness]
  *
  *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
  *             aerodrome-basic | velodrome | velodrome-pk
@@ -32,6 +32,10 @@
  *             else 256; 1 = per-event transport)
  *   --pin:    pin shard worker s to core s mod hardware_concurrency
  *             (Linux; no-op elsewhere or single-engine)
+ *   --gc:     force clock-entry reclamation and thread-slot recycling on
+ *             or off for this run (default: the AERO_GC env, else off);
+ *             verdicts are identical either way, memory is not —
+ *             long-running streams with thread churn need gc on
  *   --resync: skip corrupt records and keep checking (the verdict
  *             degrades to "no violation found", exit 5, when records
  *             were skipped) instead of stopping at the first one
@@ -99,6 +103,7 @@ struct Args {
     bool pin_workers = false;
     bool resync = false;
     uint32_t watchdog_ms = 0;
+    int gc = -1; // -1: engine default (AERO_GC env), 0/1: forced
     bool validate_first = false;
     bool stats = false;
     bool witness = false;
@@ -175,7 +180,7 @@ usage(const char* argv0)
                  "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
                  "[--shards N] [--merge-epoch K|end] "
                  "[--no-merge-barriers] [--batch N] [--pin] [--resync] "
-                 "[--watchdog MS] [--validate] [--stats]\n"
+                 "[--watchdog MS] [--gc=on|off] [--validate] [--stats]\n"
                  "engines: aerodrome aerodrome-tuned aerodrome-readopt "
                  "aerodrome-basic velodrome velodrome-pk\n",
                  argv0);
@@ -200,6 +205,42 @@ make_engine(const std::string& name)
     if (name == "velodrome-pk")
         return std::make_unique<VelodromePK>(0, 0, 0);
     return nullptr;
+}
+
+/** One-line reclamation summary pulled out of the counter list; silent
+ *  when the engine has no reclamation counters at all. */
+void
+print_gc_block(const StatList& counters)
+{
+    auto get = [&counters](const char* key, uint64_t& out) {
+        for (const auto& [k, v] : counters)
+            if (k == key) {
+                out = v;
+                return true;
+            }
+        return false;
+    };
+    uint64_t sweeps = 0, reclaimed = 0, rows = 0, live = 0, retired = 0,
+             recycled = 0;
+    if (!get("gc_sweeps", sweeps))
+        return;
+    get("gc_reclaimed", reclaimed);
+    get("gc_rows_freed", rows);
+    get("gc_live_entries", live);
+    get("slots_retired", retired);
+    get("slots_recycled", recycled);
+    if (sweeps == 0 && retired == 0) {
+        std::printf("  reclamation: off (nothing retired or swept; "
+                    "--gc=on or AERO_GC=1 to enable)\n");
+        return;
+    }
+    std::printf("  reclamation: %s sweeps, %s entries reclaimed, %s "
+                "rows freed, %s live entries after the last sweep, "
+                "%s thread slots retired (%s reissued)\n",
+                with_commas(sweeps).c_str(),
+                with_commas(reclaimed).c_str(), with_commas(rows).c_str(),
+                with_commas(live).c_str(), with_commas(retired).c_str(),
+                with_commas(recycled).c_str());
 }
 
 void
@@ -291,6 +332,10 @@ main(int argc, char** argv)
             if (!parse_bounded(argv[++i], 0, 3600ul * 1000, v))
                 return usage(argv[0]);
             args.watchdog_ms = static_cast<uint32_t>(v);
+        } else if (a == "--gc=on" || a == "--gc=1") {
+            args.gc = 1;
+        } else if (a == "--gc=off" || a == "--gc=0") {
+            args.gc = 0;
         } else if (a == "--validate") {
             args.validate_first = true;
         } else if (a == "--stats") {
@@ -313,6 +358,8 @@ main(int argc, char** argv)
         std::fprintf(stderr, "unknown engine '%s'\n", args.engine.c_str());
         return usage(argv[0]);
     }
+    if (args.gc >= 0)
+        checker->set_gc(args.gc == 1);
 
     // Contain engine panics as a structured internal-error outcome (exit
     // 6 with context) instead of an abort, and arm any AERO_FAULT_PLAN
@@ -383,8 +430,13 @@ main(int argc, char** argv)
             sopts.watchdog_ms = args.watchdog_ms;
             sopts.budget = budget;
             sharded = run_sharded(
-                [&args] { return make_engine(args.engine); }, *source,
-                sopts);
+                [&args] {
+                    auto e = make_engine(args.engine);
+                    if (args.gc >= 0)
+                        e->set_gc(args.gc == 1);
+                    return e;
+                },
+                *source, sopts);
             r = sharded->result;
         } else {
             r = run_checker_stream(*checker, *source, budget);
@@ -466,10 +518,13 @@ main(int argc, char** argv)
             }
         }
         if (args.stats) {
-            if (sharded)
+            if (sharded) {
                 print_shard_stats(*sharded);
-            else
+                print_gc_block(sharded->result.counters);
+            } else {
                 print_counters(checker->counters());
+                print_gc_block(checker->counters());
+            }
         }
         switch (status) {
           case RunStatus::kOk:

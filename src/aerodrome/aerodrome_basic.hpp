@@ -42,11 +42,13 @@
 #include <vector>
 
 #include "analysis/checker.hpp"
+#include "analysis/thread_slots.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "support/counter.hpp"
 #include "trace/trace.hpp"
 #include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
+#include "vc/gc.hpp"
 #include "vc/vector_clock.hpp"
 
 namespace aero {
@@ -103,6 +105,18 @@ public:
      *  full-table end sweep. */
     void set_update_sets(bool on) { tbl_.set_update_sets_enabled(on); }
 
+    /** Toggle dead-state reclamation (clock-entry GC + thread-slot
+     *  recycling); call before the first event. */
+    void set_gc(bool on) override { gc_ = on; }
+    bool gc_enabled() const { return gc_; }
+
+    /** Test hook: with gc on, sweep every n outermost ends (0 restores
+     *  the arena-growth trigger). */
+    void set_gc_sweep_every(uint32_t n) { gc_sweep_every_ = n; }
+
+    uint64_t gc_sweeps() const { return gc_sweeps_; }
+    const ThreadSlotMap& thread_slots() const { return slots_; }
+
     StatList counters() const override;
 
     size_t memory_bytes() const override;
@@ -142,6 +156,30 @@ private:
     {
         return epochs_ && cb_pure_[u] != 0;
     }
+
+    /** External tid a violation at row t is charged to. */
+    ThreadId
+    rid(ThreadId t) const
+    {
+        if (!gc_)
+            return t;
+        ThreadId ext = slots_.ext_of(t);
+        return ext == kNoThread ? t : ext;
+    }
+
+    /** Row for external tid `ext` under gc (allocating reuse-first). */
+    uint32_t
+    slot_of(ThreadId ext)
+    {
+        bool fresh = false;
+        uint32_t s = slots_.resolve(ext, fresh);
+        ensure_thread(s);
+        return s;
+    }
+
+    void retire_slot(uint32_t s);
+    void gc_sweep_now();
+    void maybe_gc_sweep();
 
     /**
      * The paper's checkAndGet(clk, t) against table entry `slot`: declare
@@ -186,6 +224,12 @@ private:
     /** r_slot_[x][t] -> entry of R_{t,x}, kNoSlot until t reads x
      *  (mirroring Algorithm 1's lazily-extended table). */
     std::vector<std::vector<uint32_t>> r_slot_;
+    /** Reader entries of retired slots that were still live (non-bottom)
+     *  at retirement. They keep their Algorithm 1 role — every later
+     *  write to x checks them — until a sweep proves them dead, which
+     *  resets them to bottom and releases their indices for
+     *  add_entry_reusable. Only populated under gc. */
+    std::vector<std::vector<uint32_t>> orphan_r_;
 
     /** Purity bits: c_pure_[t] iff C_t == bot[v/t]; cb_pure_[t] the same
      *  for C_t^b. Sound but conservative. */
@@ -195,6 +239,16 @@ private:
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;
+
+    /** Dead-state reclamation (src/vc/README.md, "Reclamation"). */
+    bool gc_ = gc_enabled_default();
+    ThreadSlotMap slots_;
+    GcFrontier gcf_;
+    uint64_t gc_sweeps_ = 0;
+    uint64_t gc_live_entries_ = 0;
+    size_t gc_rows_baseline_ = 0;
+    uint32_t gc_sweep_every_ = 0;
+    uint32_t gc_ends_ = 0;
 
     AeroDromeStats stats_;
 };

@@ -29,7 +29,8 @@ AeroDromeOpt::AeroDromeOpt(uint32_t num_threads, uint32_t num_vars,
 void
 AeroDromeOpt::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
 {
-    if (threads > 0)
+    // With gc on the hint counts external tids; rows are recycled slots.
+    if (threads > 0 && !gc_)
         ensure_thread(threads - 1);
     if (vars > 0)
         ensure_var(vars - 1);
@@ -58,11 +59,13 @@ void
 AeroDromeOpt::export_seed(EngineSeed& seed) const
 {
     detail::export_engine_seed(c_, cb_, txns_, seed);
+    detail::export_slot_seed(slots_, gc_, seed);
 }
 
 void
 AeroDromeOpt::reseed(const EngineSeed& seed)
 {
+    detail::adopt_slot_seed(slots_, gc_, seed);
     const uint32_t threads = detail::seed_thread_count(seed);
     if (threads == 0)
         return;
@@ -132,7 +135,7 @@ AeroDromeOpt::check_and_get_entry(size_t slot, ThreadId t, size_t index,
 {
     ++stats_.comparisons;
     if (txns_.active(t) && begin_before(t, tbl_.get(slot, t)))
-        return report(index, t, reason);
+        return report(index, rid(t), reason);
     ++stats_.joins;
     tbl_.join_into(c_[t], slot, t, c_pure_[t]);
     return false;
@@ -145,7 +148,7 @@ AeroDromeOpt::check_and_get_entry2(size_t check_slot, size_t join_slot,
 {
     ++stats_.comparisons;
     if (txns_.active(t) && begin_before(t, tbl_.get(check_slot, t)))
-        return report(index, t, reason);
+        return report(index, rid(t), reason);
     ++stats_.joins;
     tbl_.join_into(c_[t], join_slot, t, c_pure_[t]);
     return false;
@@ -158,7 +161,7 @@ AeroDromeOpt::check_and_get_clock(ConstClockRef clk, ThreadId src,
 {
     ++stats_.comparisons;
     if (txns_.active(t) && begin_before(t, clk.get(t)))
-        return report(index, t, reason);
+        return report(index, rid(t), reason);
     ++stats_.joins;
     join_qualified(c_[t], t, c_pure_[t], clk, src, src_pure);
     return false;
@@ -308,8 +311,17 @@ AeroDromeOpt::handle_end(ThreadId t, size_t index)
 bool
 AeroDromeOpt::process(const Event& e, size_t index)
 {
-    const ThreadId t = e.tid;
-    ensure_thread(t);
+    ThreadId t = e.tid;
+    ThreadId target = e.target;
+    if (gc_) {
+        // Rows are recycled slots: translate the actor and, for the two
+        // thread-target ops, the target through the slot map.
+        t = slot_of(e.tid);
+        if (e.op == Op::kFork || e.op == Op::kJoin)
+            target = slot_of(e.target);
+    } else {
+        ensure_thread(t);
+    }
 
     switch (e.op) {
       case Op::kBegin:
@@ -320,41 +332,50 @@ AeroDromeOpt::process(const Event& e, size_t index)
         return false;
 
       case Op::kEnd:
-        if (txns_.on_end(t))
-            return handle_end(t, index);
+        if (txns_.on_end(t)) {
+            if (handle_end(t, index))
+                return true;
+            if (gc_)
+                maybe_gc_sweep();
+        }
         return false;
 
       case Op::kAcquire:
-        ensure_lock(e.target);
-        if (last_rel_thr_[e.target] != t) {
-            return check_and_get_entry(lock_slot_[e.target], t, index,
+        ensure_lock(target);
+        if (last_rel_thr_[target] != t) {
+            return check_and_get_entry(lock_slot_[target], t, index,
                                        "acquire saw conflicting release");
         }
         return false;
 
       case Op::kRelease:
-        ensure_lock(e.target);
-        tbl_.assign(lock_slot_[e.target], c_[t], t, pure_of(t));
-        last_rel_thr_[e.target] = t;
+        ensure_lock(target);
+        tbl_.assign(lock_slot_[target], c_[t], t, pure_of(t));
+        last_rel_thr_[target] = t;
         return false;
 
       case Op::kFork:
-        ensure_thread(e.target);
+        ensure_thread(target);
         ++stats_.joins;
-        join_qualified(c_[e.target], e.target, c_pure_[e.target], c_[t], t,
+        join_qualified(c_[target], target, c_pure_[target], c_[t], t,
                        pure_of(t));
-        parent_thread_[e.target] = t;
-        parent_txn_seq_[e.target] = txns_.active(t) ? txns_.seq(t) : 0;
+        parent_thread_[target] = t;
+        parent_txn_seq_[target] = txns_.active(t) ? txns_.seq(t) : 0;
         return false;
 
-      case Op::kJoin:
-        ensure_thread(e.target);
-        return check_and_get_clock(c_[e.target], e.target,
-                                   pure_of(e.target), t, index,
-                                   "join saw child's events");
+      case Op::kJoin: {
+        ensure_thread(target);
+        if (check_and_get_clock(c_[target], target, pure_of(target), t,
+                                index, "join saw child's events")) {
+            return true;
+        }
+        if (gc_ && target != t)
+            retire_slot(target);
+        return false;
+      }
 
       case Op::kRead: {
-        const VarId x = e.target;
+        const VarId x = target;
         ensure_var(x);
         const size_t base = var_base_[x];
         if (last_w_thr_[x] != t) {
@@ -392,7 +413,7 @@ AeroDromeOpt::process(const Event& e, size_t index)
       }
 
       case Op::kWrite: {
-        const VarId x = e.target;
+        const VarId x = target;
         ensure_var(x);
         const size_t base = var_base_[x];
         if (last_w_thr_[x] != t) {
@@ -429,6 +450,85 @@ AeroDromeOpt::process(const Event& e, size_t index)
     return false;
 }
 
+void
+AeroDromeOpt::retire_slot(uint32_t s)
+{
+    if (txns_.active(s))
+        return; // ill-formed join mid-transaction: leak the row, stay safe
+    // Scrub every cached fact that names this row. The lazy proxies must
+    // be materialized/flushed BEFORE the clock reset: they stand in for
+    // c_[s], which is about to become the reissue continuation.
+    for (VarId x = 0; x < var_base_.size(); ++x) {
+        if (last_w_thr_[x] == s) {
+            if (stale_write_[x]) {
+                // Defensive: a well-formed trace cleared this at s's last
+                // end. Materialize W_x from the proxy before it vanishes.
+                tbl_.assign(var_base_[x], c_[s], s, pure_of(s));
+                stale_write_[x] = 0;
+            }
+            last_w_thr_[x] = kNoThread;
+        }
+        auto& sr = stale_readers_[x];
+        for (size_t k = 0; k < sr.size(); ++k) {
+            if (sr[k] == s) {
+                stats_.joins += 2;
+                const size_t base = var_base_[x];
+                const bool pure = pure_of(s);
+                tbl_.join(base + 1, c_[s], s, pure);
+                tbl_.join_except(base + 2, c_[s], s, pure);
+                sr.erase(sr.begin() + static_cast<ptrdiff_t>(k));
+                break;
+            }
+        }
+    }
+    for (ThreadId& r : last_rel_thr_) {
+        if (r == s)
+            r = kNoThread;
+    }
+    upd_r_[s].clear();
+    upd_w_[s].clear();
+    parent_thread_[s] = kNoThread;
+    parent_txn_seq_[s] = 0;
+    const ClockValue v = c_[s].get(s);
+    c_[s].clear();
+    c_[s].set(s, v + 1);
+    cb_[s].clear();
+    c_pure_[s] = 1;
+    slots_.retire(s);
+}
+
+void
+AeroDromeOpt::gc_sweep_now()
+{
+    gcf_.reset(c_.dim());
+    const std::vector<ThreadId>& bound = slots_.bindings();
+    for (uint32_t s = 0; s < bound.size(); ++s) {
+        if (bound[s] != kNoThread)
+            gcf_.accumulate(c_[s]);
+    }
+    for (uint32_t s = 0; s < bound.size(); ++s) {
+        if (bound[s] != kNoThread && txns_.active(s))
+            gcf_.cap_active(s, c_[s].get(s));
+    }
+    gc_live_entries_ = tbl_.gc_sweep(gcf_);
+    ++gc_sweeps_;
+    gc_rows_baseline_ = tbl_.arena_rows_live();
+    gc_ends_ = 0;
+}
+
+void
+AeroDromeOpt::maybe_gc_sweep()
+{
+    if (gc_sweep_every_ != 0) {
+        if (++gc_ends_ >= gc_sweep_every_)
+            gc_sweep_now();
+        return;
+    }
+    const size_t rows = tbl_.arena_rows_live();
+    if (rows >= 128 && rows >= 2 * gc_rows_baseline_)
+        gc_sweep_now();
+}
+
 StatList
 AeroDromeOpt::counters() const
 {
@@ -443,6 +543,12 @@ AeroDromeOpt::counters() const
         {"epoch_fast_ops", es.epoch_fast},
         {"vector_ops", es.vector_ops},
         {"inflations", es.inflations},
+        {"gc_reclaimed", es.gc_reclaimed},
+        {"gc_rows_freed", es.gc_rows_freed},
+        {"gc_sweeps", gc_sweeps_},
+        {"gc_live_entries", gc_live_entries_},
+        {"slots_retired", slots_.retired()},
+        {"slots_recycled", slots_.recycled()},
     };
 }
 
@@ -462,6 +568,7 @@ AeroDromeOpt::memory_bytes() const
         for (const auto& s : *sets)
             n += s.list.capacity() * sizeof(VarId) + s.member.capacity();
     }
+    n += slots_.memory_bytes() + gcf_.memory_bytes() + txns_.memory_bytes();
     return n;
 }
 

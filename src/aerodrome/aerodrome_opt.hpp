@@ -45,10 +45,12 @@
 
 #include "aerodrome/aerodrome_basic.hpp" // for AeroDromeStats
 #include "analysis/checker.hpp"
+#include "analysis/thread_slots.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
 #include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
+#include "vc/gc.hpp"
 
 namespace aero {
 
@@ -100,6 +102,18 @@ public:
         tbl_.set_epochs_enabled(on);
     }
 
+    /** Toggle dead-state reclamation (clock-entry GC + thread-slot
+     *  recycling); call before the first event. */
+    void set_gc(bool on) override { gc_ = on; }
+    bool gc_enabled() const { return gc_; }
+
+    /** Test hook: with gc on, sweep every n outermost ends (0 restores
+     *  the arena-growth trigger). */
+    void set_gc_sweep_every(uint32_t n) { gc_sweep_every_ = n; }
+
+    uint64_t gc_sweeps() const { return gc_sweeps_; }
+    const ThreadSlotMap& thread_slots() const { return slots_; }
+
     StatList counters() const override;
 
     size_t memory_bytes() const override;
@@ -111,6 +125,30 @@ private:
     {
         return epochs_ && c_pure_[u] != 0;
     }
+
+    /** External tid a violation at row t is charged to. */
+    ThreadId
+    rid(ThreadId t) const
+    {
+        if (!gc_)
+            return t;
+        ThreadId ext = slots_.ext_of(t);
+        return ext == kNoThread ? t : ext;
+    }
+
+    /** Row for external tid `ext` under gc (allocating reuse-first). */
+    uint32_t
+    slot_of(ThreadId ext)
+    {
+        bool fresh = false;
+        uint32_t s = slots_.resolve(ext, fresh);
+        ensure_thread(s);
+        return s;
+    }
+
+    void retire_slot(uint32_t s);
+    void gc_sweep_now();
+    void maybe_gc_sweep();
 
     /** checkAndGet where both the check and the join use table entry
      *  `slot` (locks, W_x). */
@@ -202,6 +240,16 @@ private:
     /** Fork bookkeeping for hasIncomingEdge's "parentTr is alive". */
     std::vector<ThreadId> parent_thread_;
     std::vector<uint64_t> parent_txn_seq_; // 0 = fork outside a transaction
+
+    /** Dead-state reclamation (src/vc/README.md, "Reclamation"). */
+    bool gc_ = gc_enabled_default();
+    ThreadSlotMap slots_;
+    GcFrontier gcf_;
+    uint64_t gc_sweeps_ = 0;
+    uint64_t gc_live_entries_ = 0;
+    size_t gc_rows_baseline_ = 0;
+    uint32_t gc_sweep_every_ = 0;
+    uint32_t gc_ends_ = 0;
 
     AeroDromeStats stats_;
     AeroDromeOptStats opt_stats_;

@@ -23,7 +23,10 @@ AeroDromeReadOpt::AeroDromeReadOpt(uint32_t num_threads, uint32_t num_vars,
 void
 AeroDromeReadOpt::reserve(uint32_t threads, uint32_t vars, uint32_t locks)
 {
-    if (threads > 0)
+    // With gc on the hint counts *external* tids (possibly millions on a
+    // churning stream) while rows are recycled slots sized by the live
+    // thread count — pre-sizing would defeat the recycling.
+    if (threads > 0 && !gc_)
         ensure_thread(threads - 1);
     if (vars > 0)
         ensure_var(vars - 1);
@@ -52,11 +55,13 @@ void
 AeroDromeReadOpt::export_seed(EngineSeed& seed) const
 {
     detail::export_engine_seed(c_, cb_, txns_, seed);
+    detail::export_slot_seed(slots_, gc_, seed);
 }
 
 void
 AeroDromeReadOpt::reseed(const EngineSeed& seed)
 {
+    detail::adopt_slot_seed(slots_, gc_, seed);
     const uint32_t threads = detail::seed_thread_count(seed);
     if (threads == 0)
         return;
@@ -131,7 +136,7 @@ AeroDromeReadOpt::check_and_get_entry(size_t slot, ThreadId t, size_t index,
 {
     ++stats_.comparisons;
     if (txns_.active(t) && cb_[t].get(t) <= tbl_.get(slot, t))
-        return report(index, t, reason);
+        return report(index, rid(t), reason);
     ++stats_.joins;
     tbl_.join_into(c_[t], slot, t, c_pure_[t]);
     return false;
@@ -144,7 +149,7 @@ AeroDromeReadOpt::check_and_get_clock(ConstClockRef clk, ThreadId src,
 {
     ++stats_.comparisons;
     if (txns_.active(t) && cb_[t].get(t) <= clk.get(t))
-        return report(index, t, reason);
+        return report(index, rid(t), reason);
     ++stats_.joins;
     join_qualified(c_[t], t, c_pure_[t], clk, src, src_pure);
     return false;
@@ -227,8 +232,18 @@ AeroDromeReadOpt::handle_end(ThreadId t, size_t index)
 bool
 AeroDromeReadOpt::process(const Event& e, size_t index)
 {
-    const ThreadId t = e.tid;
-    ensure_thread(t);
+    ThreadId t = e.tid;
+    ThreadId target = e.target;
+    if (gc_) {
+        // Rows are recycled slots: translate the actor — and, for the two
+        // thread-target ops, the target — through the slot map. All other
+        // targets are variable/lock ids and pass through.
+        t = slot_of(e.tid);
+        if (e.op == Op::kFork || e.op == Op::kJoin)
+            target = slot_of(e.target);
+    } else {
+        ensure_thread(t);
+    }
 
     switch (e.op) {
       case Op::kBegin:
@@ -242,39 +257,50 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
         return false;
 
       case Op::kEnd:
-        if (txns_.on_end(t))
-            return handle_end(t, index);
+        if (txns_.on_end(t)) {
+            if (handle_end(t, index))
+                return true;
+            if (gc_)
+                maybe_gc_sweep();
+        }
         return false;
 
       case Op::kAcquire:
-        ensure_lock(e.target);
-        if (last_rel_thr_[e.target] != t) {
-            return check_and_get_entry(lock_slot_[e.target], t, index,
+        ensure_lock(target);
+        if (last_rel_thr_[target] != t) {
+            return check_and_get_entry(lock_slot_[target], t, index,
                                        "acquire saw conflicting release");
         }
         return false;
 
       case Op::kRelease:
-        ensure_lock(e.target);
-        tbl_.assign(lock_slot_[e.target], c_[t], t, pure_of(t));
-        last_rel_thr_[e.target] = t;
+        ensure_lock(target);
+        tbl_.assign(lock_slot_[target], c_[t], t, pure_of(t));
+        last_rel_thr_[target] = t;
         return false;
 
       case Op::kFork:
-        ensure_thread(e.target);
+        ensure_thread(target);
         ++stats_.joins;
-        join_qualified(c_[e.target], e.target, c_pure_[e.target], c_[t], t,
+        join_qualified(c_[target], target, c_pure_[target], c_[t], t,
                        pure_of(t));
         return false;
 
-      case Op::kJoin:
-        ensure_thread(e.target);
-        return check_and_get_clock(c_[e.target], e.target,
-                                   pure_of(e.target), t, index,
-                                   "join saw child's events");
+      case Op::kJoin: {
+        ensure_thread(target);
+        if (check_and_get_clock(c_[target], target, pure_of(target), t,
+                                index, "join saw child's events")) {
+            return true;
+        }
+        // The joined thread is dead: its clock was just absorbed, so its
+        // row can be retired for reissue.
+        if (gc_ && target != t)
+            retire_slot(target);
+        return false;
+      }
 
       case Op::kRead: {
-        const VarId x = e.target;
+        const VarId x = target;
         ensure_var(x);
         const size_t base = var_slots(x);
         if (last_w_thr_[x] != t) {
@@ -291,7 +317,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
       }
 
       case Op::kWrite: {
-        const VarId x = e.target;
+        const VarId x = target;
         ensure_var(x);
         const size_t base = var_slots(x);
         if (last_w_thr_[x] != t) {
@@ -302,7 +328,7 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
         }
         ++stats_.comparisons;
         if (txns_.active(t) && cb_[t].get(t) <= tbl_.get(base + 2, t))
-            return report(index, t, "write saw conflicting read");
+            return report(index, rid(t), "write saw conflicting read");
         ++stats_.joins;
         tbl_.join_into(c_[t], base + 1, t, c_pure_[t]);
         tbl_.assign(base, c_[t], t, pure_of(t));
@@ -311,6 +337,65 @@ AeroDromeReadOpt::process(const Event& e, size_t index)
       }
     }
     return false;
+}
+
+void
+AeroDromeReadOpt::retire_slot(uint32_t s)
+{
+    if (txns_.active(s))
+        return; // ill-formed join mid-transaction: leak the row, stay safe
+    // Scrub cached same-owner facts: the reissued thread must not inherit
+    // the dead thread's check-skipping rights.
+    for (ThreadId& r : last_rel_thr_) {
+        if (r == s)
+            r = kNoThread;
+    }
+    for (ThreadId& w : last_w_thr_) {
+        if (w == s)
+            w = kNoThread;
+    }
+    // Continue the clock one past every value the dead thread minted, so
+    // reissued begin gates exceed every stale epoch still naming this row.
+    const ClockValue v = c_[s].get(s);
+    c_[s].clear();
+    c_[s].set(s, v + 1);
+    cb_[s].clear();
+    c_pure_[s] = 1;
+    tbl_.close_update_window(s);
+    slots_.retire(s);
+}
+
+void
+AeroDromeReadOpt::gc_sweep_now()
+{
+    gcf_.reset(c_.dim());
+    const std::vector<ThreadId>& bound = slots_.bindings();
+    for (uint32_t s = 0; s < bound.size(); ++s) {
+        if (bound[s] != kNoThread)
+            gcf_.accumulate(c_[s]);
+    }
+    for (uint32_t s = 0; s < bound.size(); ++s) {
+        if (bound[s] != kNoThread && txns_.active(s))
+            gcf_.cap_active(s, c_[s].get(s));
+    }
+    gc_live_entries_ = tbl_.gc_sweep(gcf_);
+    ++gc_sweeps_;
+    gc_rows_baseline_ = tbl_.arena_rows_live();
+    gc_ends_ = 0;
+}
+
+void
+AeroDromeReadOpt::maybe_gc_sweep()
+{
+    if (gc_sweep_every_ != 0) {
+        if (++gc_ends_ >= gc_sweep_every_)
+            gc_sweep_now();
+        return;
+    }
+    // Growth trigger: the live arena doubled since the last sweep.
+    const size_t rows = tbl_.arena_rows_live();
+    if (rows >= 128 && rows >= 2 * gc_rows_baseline_)
+        gc_sweep_now();
 }
 
 StatList
@@ -326,6 +411,12 @@ AeroDromeReadOpt::counters() const
         {"upd_enrolled", es.upd_enrolled},
         {"end_swept_entries", stats_.end_swept_entries},
         {"end_gate_skipped", stats_.end_gate_skipped},
+        {"gc_reclaimed", es.gc_reclaimed},
+        {"gc_rows_freed", es.gc_rows_freed},
+        {"gc_sweeps", gc_sweeps_},
+        {"gc_live_entries", gc_live_entries_},
+        {"slots_retired", slots_.retired()},
+        {"slots_recycled", slots_.recycled()},
     };
 }
 
@@ -337,6 +428,7 @@ AeroDromeReadOpt::memory_bytes() const
     n += kinds_.capacity() + c_pure_.capacity();
     n += (last_rel_thr_.capacity() + last_w_thr_.capacity()) *
          sizeof(ThreadId);
+    n += slots_.memory_bytes() + gcf_.memory_bytes() + txns_.memory_bytes();
     return n;
 }
 

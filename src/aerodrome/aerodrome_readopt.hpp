@@ -39,10 +39,12 @@
 
 #include "aerodrome/aerodrome_basic.hpp" // for AeroDromeStats
 #include "analysis/checker.hpp"
+#include "analysis/thread_slots.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "trace/trace.hpp"
 #include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
+#include "vc/gc.hpp"
 
 namespace aero {
 
@@ -82,6 +84,20 @@ public:
      *  the fused table); call before the first event. Off reproduces the
      *  full-table end sweep. */
     void set_update_sets(bool on) { tbl_.set_update_sets_enabled(on); }
+
+    /** Toggle dead-state reclamation (clock-entry GC + thread-slot
+     *  recycling); call before the first event. */
+    void set_gc(bool on) override { gc_ = on; }
+    bool gc_enabled() const { return gc_; }
+
+    /** Test hook: with gc on, run a full sweep every n outermost end
+     *  events instead of waiting for the arena-growth trigger (0 restores
+     *  the trigger). Makes parity fuzzing reclaim as aggressively as
+     *  possible. */
+    void set_gc_sweep_every(uint32_t n) { gc_sweep_every_ = n; }
+
+    uint64_t gc_sweeps() const { return gc_sweeps_; }
+    const ThreadSlotMap& thread_slots() const { return slots_; }
 
     StatList counters() const override;
 
@@ -135,6 +151,41 @@ private:
 
     bool handle_end(ThreadId t, size_t index);
 
+    /** External tid a violation at row t is charged to: the slot binding
+     *  under gc, the identity otherwise. */
+    ThreadId
+    rid(ThreadId t) const
+    {
+        if (!gc_)
+            return t;
+        ThreadId ext = slots_.ext_of(t);
+        return ext == kNoThread ? t : ext;
+    }
+
+    /** Row for external tid `ext` under gc (allocating reuse-first). */
+    uint32_t
+    slot_of(ThreadId ext)
+    {
+        bool fresh = false;
+        uint32_t s = slots_.resolve(ext, fresh);
+        ensure_thread(s);
+        return s;
+    }
+
+    /** Retire the joined thread in row s: scrub cached same-owner facts,
+     *  continue the clock one past every value it minted, and hand the
+     *  row back for reissue. Refused (row leaks, stays live) if an
+     *  ill-formed trace joins a thread mid-transaction. */
+    void retire_slot(uint32_t s);
+
+    /** Recompute the live-row minimum frontier and sweep the table. */
+    void gc_sweep_now();
+
+    /** Sweep when due (growth trigger or the sweep-every test hook);
+     *  piggybacks on outermost end events, right after their window
+     *  sweep. */
+    void maybe_gc_sweep();
+
     TxnTracker txns_;
 
     ClockBank c_;  // C_t, one row per thread
@@ -154,6 +205,18 @@ private:
 
     std::vector<ThreadId> last_rel_thr_;
     std::vector<ThreadId> last_w_thr_;
+
+    /** Dead-state reclamation (src/vc/README.md, "Reclamation"). With
+     *  gc_ on, every per-thread row is a recycled *slot* and events are
+     *  translated through slots_ before processing. */
+    bool gc_ = gc_enabled_default();
+    ThreadSlotMap slots_;
+    GcFrontier gcf_;
+    uint64_t gc_sweeps_ = 0;
+    uint64_t gc_live_entries_ = 0;
+    size_t gc_rows_baseline_ = 0;
+    uint32_t gc_sweep_every_ = 0;
+    uint32_t gc_ends_ = 0;
 
     AeroDromeStats stats_;
 };

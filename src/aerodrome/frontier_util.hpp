@@ -19,11 +19,44 @@
 #include <vector>
 
 #include "analysis/checker.hpp"
+#include "analysis/thread_slots.hpp"
 #include "analysis/txn_tracker.hpp"
 #include "vc/adaptive_clock.hpp"
 #include "vc/clock_bank.hpp"
 
 namespace aero::detail {
+
+/**
+ * Seed-export counterpart of the slot-recycling map: with gc on the
+ * frontier rows are slots, so a seed must carry the slot->ext binding
+ * table for the replay engine to keep reporting external tids (and to
+ * reissue the same slots the checkpointed engine would).
+ */
+inline void
+export_slot_seed(const ThreadSlotMap& slots, bool gc, EngineSeed& seed)
+{
+    seed.slot_ext.clear();
+    seed.slot_free.clear();
+    if (!gc)
+        return;
+    seed.slot_ext = slots.bindings();
+    seed.slot_free.assign(slots.free_slots().begin(),
+                          slots.free_slots().end());
+}
+
+/**
+ * Restore the slot map from a seed. A seed with bindings implies the
+ * checkpointed engine ran with gc on, so the replay engine must too —
+ * its frontier rows are slots; `gc` is forced on then.
+ */
+inline void
+adopt_slot_seed(ThreadSlotMap& slots, bool& gc, const EngineSeed& seed)
+{
+    if (seed.slot_ext.empty())
+        return;
+    gc = true;
+    slots.restore(seed.slot_ext, seed.slot_free);
+}
 
 /**
  * Re-establish the adaptive table's per-thread update windows after a

@@ -122,10 +122,20 @@ struct EngineSeed {
     ClockFrontier begin_clocks; ///< C_t^b, one row per thread
     std::vector<uint32_t> txn_depth; ///< begin/end nesting per thread
     std::vector<uint64_t> txn_seq;   ///< transaction instance counters
+    /** Slot-recycling state (engines running with gc on; see
+     *  src/vc/README.md "Reclamation"). Rows of the clock frontiers are
+     *  *slots* then, not external thread ids: slot_ext[s] is the external
+     *  tid bound to slot s (kNoThread when free) and slot_free lists the
+     *  free slots in allocation order. Slot maps are derived solely from
+     *  replicated fork/join events, so every shard agrees on them. Empty
+     *  when gc is off (rows are external tids, the pre-gc layout). */
+    std::vector<ThreadId> slot_ext;
+    std::vector<ThreadId> slot_free;
 
     /** *this := *this |_| o. Clock frontiers join pointwise; the
-     *  transaction state is derived from replicated events and therefore
-     *  identical in every shard, so max is a checked copy. */
+     *  transaction and slot state is derived from replicated events and
+     *  therefore identical in every shard, so max / copy-the-larger is a
+     *  checked copy. */
     void
     join(const EngineSeed& o)
     {
@@ -139,6 +149,10 @@ struct EngineSeed {
             txn_seq.resize(o.txn_seq.size(), 0);
         for (size_t t = 0; t < o.txn_seq.size(); ++t)
             txn_seq[t] = std::max(txn_seq[t], o.txn_seq[t]);
+        if (o.slot_ext.size() > slot_ext.size())
+            slot_ext = o.slot_ext;
+        if (o.slot_free.size() > slot_free.size())
+            slot_free = o.slot_free;
     }
 };
 
@@ -189,6 +203,15 @@ public:
      * account for itself.
      */
     virtual size_t memory_bytes() const { return 0; }
+
+    /**
+     * Toggle dead-state reclamation (clock-entry GC + thread-slot
+     * recycling; src/vc/README.md "Reclamation") before the first event.
+     * The process-wide default is gc_enabled_default() (AERO_GC, off
+     * unless set); verdicts are bit-identical either way. Engines
+     * without a reclamation path ignore the call.
+     */
+    virtual void set_gc(bool /*on*/) {}
 
     /**
      * Sharded-checking support (src/shard/README.md). An engine that

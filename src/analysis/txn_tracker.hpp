@@ -109,6 +109,14 @@ public:
             seq_[t] = seq[t];
     }
 
+    /** Bytes held (engine memory_bytes() accounting). */
+    size_t
+    memory_bytes() const
+    {
+        return depth_.capacity() * sizeof(uint32_t) +
+               seq_.capacity() * sizeof(uint64_t);
+    }
+
 private:
     std::vector<uint32_t> depth_;
     std::vector<uint64_t> seq_;

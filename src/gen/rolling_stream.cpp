@@ -1,0 +1,104 @@
+#include "gen/rolling_stream.hpp"
+
+namespace aero::gen {
+
+namespace {
+
+/** Main (forking/joining) thread of the stream. */
+constexpr ThreadId kMain = 0;
+
+} // namespace
+
+RollingStreamSource::RollingStreamSource(const RollingStreamOptions& opts)
+    : opts_(opts), rng_(opts.seed)
+{
+    if (opts_.workers == 0)
+        opts_.workers = 1;
+    if (opts_.locks == 0)
+        opts_.locks = 1;
+    // The hot window maps each draw onto its stripe by rounding within
+    // the ring, so the ring size must be a whole number of stripes and
+    // at least one window wide.
+    if (opts_.vars < opts_.hot_window)
+        opts_.vars = opts_.hot_window;
+    if (opts_.vars % opts_.locks != 0)
+        opts_.vars += opts_.locks - opts_.vars % opts_.locks;
+    if (opts_.hot_window == 0)
+        opts_.hot_window = opts_.locks;
+
+    next_tid_ = kMain + 1;
+    for (uint32_t i = 0; i < opts_.workers; ++i) {
+        ThreadId w = next_tid_++;
+        pending_.push_back({kMain, w, Op::kFork});
+        live_.push_back(w);
+    }
+    next_churn_ = opts_.churn_every;
+    next_drift_ = opts_.drift_every;
+}
+
+void
+RollingStreamSource::emit_txn()
+{
+    ThreadId w = live_[rr_ % live_.size()];
+    rr_ = (rr_ + 1) % static_cast<uint32_t>(live_.size());
+
+    // One strict-2PL transaction: every access falls in the hot window
+    // AND on the chosen stripe, so the single stripe lock guards every
+    // conflict this transaction can have.
+    const LockId l = static_cast<LockId>(rng_.next_below(opts_.locks));
+    pending_.push_back({w, l, Op::kAcquire});
+    pending_.push_back({w, 0, Op::kBegin});
+    for (uint32_t i = 0; i < opts_.txn_accesses; ++i) {
+        uint32_t off = static_cast<uint32_t>(
+            rng_.next_below(opts_.hot_window));
+        uint32_t v = (hot_base_ + off) % opts_.vars;
+        v = v - v % opts_.locks + l; // snap onto the stripe
+        bool write = rng_.next_below(100) < opts_.write_pct;
+        pending_.push_back({w, v, write ? Op::kWrite : Op::kRead});
+    }
+    pending_.push_back({w, 0, Op::kEnd});
+    pending_.push_back({w, l, Op::kRelease});
+}
+
+void
+RollingStreamSource::emit_churn()
+{
+    // Retire the oldest worker (it is between transactions — emit_txn
+    // produces whole transactions) and fork a replacement with a fresh
+    // external id. Live thread count is constant; the id space is not.
+    ThreadId oldest = live_.front();
+    live_.pop_front();
+    ThreadId fresh = next_tid_++;
+    pending_.push_back({kMain, oldest, Op::kJoin});
+    pending_.push_back({kMain, fresh, Op::kFork});
+    live_.push_back(fresh);
+    if (rr_ >= live_.size())
+        rr_ = 0;
+}
+
+bool
+RollingStreamSource::next(Event& out)
+{
+    if (opts_.max_events != 0 && produced_ >= opts_.max_events)
+        return false;
+    while (pending_.empty()) {
+        if (opts_.churn_every != 0 && produced_ >= next_churn_) {
+            next_churn_ += opts_.churn_every;
+            emit_churn();
+            continue;
+        }
+        if (opts_.drift_every != 0 && produced_ >= next_drift_) {
+            next_drift_ += opts_.drift_every;
+            hot_base_ = (hot_base_ + opts_.hot_window / 2 + 1) % opts_.vars;
+            // The slide changes no state by itself; the next transactions
+            // simply draw from the moved window.
+        }
+        emit_txn();
+    }
+    out = pending_.front();
+    pending_.pop_front();
+    ++produced_;
+    return true;
+}
+
+} // namespace aero::gen

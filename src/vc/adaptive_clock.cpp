@@ -31,12 +31,32 @@ update_sets_enabled_default()
     return enabled;
 }
 
+bool
+gc_enabled_default()
+{
+    static const bool enabled = [] {
+        const char* v = std::getenv("AERO_GC");
+        if (v == nullptr)
+            return false; // reclamation is opt-in
+        return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+               std::strcmp(v, "ON") == 0;
+    }();
+    return enabled;
+}
+
 ClockRef
 AdaptiveClockTable::inflate(size_t i, bool copy_contents)
 {
     Epoch e = Epoch::from_bits(entries_[i]);
-    size_t r = arena_rows_++;
-    arena_.ensure_rows(arena_rows_);
+    size_t r;
+    if (!free_rows_.empty()) {
+        // Reclaimed rows are bottom already (gc_reclaim clears them).
+        r = free_rows_.back();
+        free_rows_.pop_back();
+    } else {
+        r = arena_rows_++;
+        arena_.ensure_rows(arena_rows_);
+    }
     entries_[i] = kInflatedTag | static_cast<uint64_t>(r);
     ClockRef row = arena_[r];
     // Fresh arena rows are bottom (the bank zero-fills growth), so only

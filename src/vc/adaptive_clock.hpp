@@ -43,12 +43,20 @@
 #include "trace/event.hpp"
 #include "vc/clock_bank.hpp"
 #include "vc/epoch.hpp"
+#include "vc/gc.hpp"
 
 namespace aero {
 
 /** Process-wide default for new tables: false iff AERO_EPOCHS is set to
  *  "0"/"off" in the environment (read once). */
 bool epochs_enabled_default();
+
+/** Process-wide default for dead-state reclamation (clock-entry GC and
+ *  thread-slot recycling in the engines): true iff AERO_GC is set to
+ *  "1"/"on" in the environment (read once). Off by default — unbounded
+ *  traces opt in; every verdict is bit-identical either way (enforced by
+ *  tests/gc_test.cpp parity fuzzing and the AERO_GC=1 CI pass). */
+bool gc_enabled_default();
 
 /** Process-wide default for update-set tracking: false iff
  *  AERO_UPDATE_SETS is set to "0"/"off" in the environment (read once).
@@ -71,6 +79,11 @@ struct AdaptiveClockStats {
     /** Entries enrolled into a thread's update window (unique per
      *  (entry, open window); see open_update_window). */
     RelaxedCounter upd_enrolled;
+    /** Dead entries reset to bottom by gc_reclaim (README,
+     *  "Reclamation"). */
+    RelaxedCounter gc_reclaimed;
+    /** Arena rows returned to the row free-list by gc_reclaim. */
+    RelaxedCounter gc_rows_freed;
 };
 
 /**
@@ -114,12 +127,29 @@ public:
     size_t size() const { return entries_.size(); }
     size_t dim() const { return arena_.dim(); }
 
-    /** Append one bottom entry; returns its index. */
+    /** Append one bottom entry; returns its index. Callers relying on
+     *  consecutive indices (the engines' per-variable W/R/hR triples)
+     *  must use this, never add_entry_reusable. */
     uint32_t
     add_entry()
     {
         entries_.push_back(0);
         return static_cast<uint32_t>(entries_.size() - 1);
+    }
+
+    /** Like add_entry, but prefers indices returned by gc_recycle_index
+     *  (the retired per-thread reader entries of the basic engine), so a
+     *  churning thread population reuses entry words instead of growing
+     *  the table forever. */
+    uint32_t
+    add_entry_reusable()
+    {
+        if (!free_entries_.empty()) {
+            uint32_t i = free_entries_.back();
+            free_entries_.pop_back();
+            return i;
+        }
+        return add_entry();
     }
 
     /** Grow the arena clock dimension (threads seen; engines keep all
@@ -387,6 +417,81 @@ public:
         return epoch_at(i).to_vector_clock();
     }
 
+    // --- Reclamation (gc) ---------------------------------------------------
+    //
+    // The frontier argument is the live-thread minimum of vc/gc.hpp. An
+    // entry strictly below it at every non-bottom component can never
+    // fire a gate again and every live clock already strictly dominates
+    // it (its future joins are no-ops), so resetting it to bottom is
+    // invisible to verdicts — see src/vc/README.md, "Reclamation". This
+    // is the one sanctioned exception to one-way promotion: a reclaimed
+    // inflated entry demotes to the bottom *epoch* word and its arena row
+    // joins a free-list that inflate() drains before growing the arena.
+
+    /** True iff entry i can never fire a gate again under frontier f.
+     *  Bottom epoch entries report false (nothing to reclaim); bottom
+     *  arena rows report true (the row itself is reclaimable). */
+    bool
+    gc_dead(size_t i, const GcFrontier& f) const
+    {
+        uint64_t bits = entries_[i];
+        if (bits & kInflatedTag)
+            return f.dead_row(arena_[bits & ~kInflatedTag]);
+        Epoch e = Epoch::from_bits(bits);
+        return !e.is_bottom() && f.dead_component(e.thread(), e.value());
+    }
+
+    /** Reset dead entry i to bottom in place, returning its arena row
+     *  (if any) to the row free-list. The caller must have established
+     *  deadness via gc_dead. */
+    void
+    gc_reclaim(size_t i)
+    {
+        uint64_t bits = entries_[i];
+        if (bits & kInflatedTag) {
+            size_t r = bits & ~kInflatedTag;
+            arena_[r].clear();
+            free_rows_.push_back(r);
+            ++stats_.gc_rows_freed;
+        }
+        entries_[i] = 0;
+        ++stats_.gc_reclaimed;
+    }
+
+    /** Return (already-bottom) entry i's index to the entry free-list
+     *  for a future add_entry_reusable. The caller must drop every
+     *  reference to i first — the index will be handed out again. */
+    void
+    gc_recycle_index(uint32_t i)
+    {
+        assert(is_bottom(i));
+        free_entries_.push_back(i);
+    }
+
+    /** Sweep the whole table against f, reclaiming every dead entry in
+     *  place. Returns the number of live (non-bottom) entries left. */
+    size_t
+    gc_sweep(const GcFrontier& f)
+    {
+        size_t live = 0;
+        const size_t n = entries_.size();
+        for (size_t i = 0; i < n; ++i) {
+            if (entries_[i] == 0)
+                continue; // already bottom
+            if (gc_dead(i, f))
+                gc_reclaim(i);
+            else
+                ++live;
+        }
+        return live;
+    }
+
+    /** Arena rows currently backing inflated entries (total rows ever
+     *  allocated minus the free-list) — the gc pressure signal. */
+    size_t arena_rows_live() const { return arena_rows_ - free_rows_.size(); }
+    /** Entry indices waiting for reuse via add_entry_reusable. */
+    size_t free_entry_count() const { return free_entries_.size(); }
+
     const AdaptiveClockStats& stats() const { return stats_; }
 
     /** The inflation arena (tests, benchmarks). */
@@ -401,7 +506,9 @@ public:
         size_t n = entries_.capacity() * sizeof(uint64_t) +
                    arena_.memory_bytes() +
                    upd_gate_.capacity() * sizeof(ClockValue) +
-                   open_windows_.capacity() * sizeof(uint32_t);
+                   open_windows_.capacity() * sizeof(uint32_t) +
+                   free_rows_.capacity() * sizeof(size_t) +
+                   free_entries_.capacity() * sizeof(uint32_t);
         for (const UpdWindow& w : upd_) {
             n += sizeof(UpdWindow) + w.list.capacity() * sizeof(uint32_t) +
                  w.member.capacity();
@@ -476,6 +583,12 @@ private:
     std::vector<uint64_t> entries_;
     ClockBank arena_;
     size_t arena_rows_ = 0;
+    /** Arena rows freed by gc_reclaim, drained by inflate() before the
+     *  arena grows; rows on the list are bottom. */
+    std::vector<size_t> free_rows_;
+    /** Entry indices freed by gc_recycle_index, drained by
+     *  add_entry_reusable; entries on the list are bottom. */
+    std::vector<uint32_t> free_entries_;
     bool epochs_;
     bool upd_sets_ = update_sets_enabled_default();
     /** Window per thread; upd_gate_[t] != 0 iff t's window is open (still

@@ -99,6 +99,8 @@ public:
         return data_[r * col_cap_ + c];
     }
 
+    size_t memory_bytes() const { return data_.capacity() * sizeof(T); }
+
 private:
     std::vector<T> data_;
     size_t rows_ = 0;

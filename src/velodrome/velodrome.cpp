@@ -259,4 +259,22 @@ Velodrome::process(const Event& e, size_t index)
     return false;
 }
 
+size_t
+Velodrome::memory_bytes() const
+{
+    size_t n = nodes_.capacity() * sizeof(Node);
+    for (const Node& node : nodes_)
+        n += node.succ.capacity() * sizeof(uint32_t);
+    // unordered_set: bucket array plus one node (value + next pointer +
+    // hash) per element, the same convention as ThreadSlotMap's map.
+    n += edge_set_.bucket_count() * sizeof(void*);
+    n += edge_set_.size() * (sizeof(uint64_t) + 2 * sizeof(void*));
+    n += (cur_.capacity() + last_.capacity() + last_write_.capacity() +
+          last_rel_.capacity() + dfs_stack_.capacity()) *
+         sizeof(uint32_t);
+    n += last_read_.memory_bytes();
+    n += txns_.memory_bytes();
+    return n;
+}
+
 } // namespace aero

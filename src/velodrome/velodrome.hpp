@@ -78,6 +78,10 @@ public:
 
     const VelodromeStats& stats() const { return stats_; }
 
+    /** Map the engine-agnostic reclamation toggle onto Velodrome's own
+     *  no-incoming-edge node GC; call before the first event. */
+    void set_gc(bool on) override { opts_.garbage_collect = on; }
+
     StatList
     counters() const override
     {
@@ -89,6 +93,8 @@ public:
             {"dfs_visits", stats_.dfs_visits},
         };
     }
+
+    size_t memory_bytes() const override;
 
 private:
     static constexpr uint32_t kNone = UINT32_MAX;

@@ -304,4 +304,23 @@ VelodromePK::process(const Event& e, size_t index)
     return false;
 }
 
+size_t
+VelodromePK::memory_bytes() const
+{
+    size_t n = nodes_.capacity() * sizeof(Node);
+    for (const Node& node : nodes_) {
+        n += (node.succ.capacity() + node.pred.capacity()) *
+             sizeof(uint32_t);
+    }
+    n += edge_set_.bucket_count() * sizeof(void*);
+    n += edge_set_.size() * (sizeof(uint64_t) + 2 * sizeof(void*));
+    n += (cur_.capacity() + last_.capacity() + last_write_.capacity() +
+          last_rel_.capacity() + fwd_.capacity() + bwd_.capacity() +
+          work_.capacity()) *
+         sizeof(uint32_t);
+    n += last_read_.memory_bytes();
+    n += txns_.memory_bytes();
+    return n;
+}
+
 } // namespace aero

@@ -51,6 +51,10 @@ public:
 
     const VelodromeStats& stats() const { return stats_; }
 
+    /** Map the engine-agnostic reclamation toggle onto the node GC;
+     *  call before the first event. */
+    void set_gc(bool on) override { opts_.garbage_collect = on; }
+
     /** Edge insertions that respected the order (O(1) fast path). */
     uint64_t fast_edges() const { return fast_edges_; }
     /** Edge insertions that required reordering. */
@@ -69,6 +73,8 @@ public:
             {"reordered_edges", reordered_edges_},
         };
     }
+
+    size_t memory_bytes() const override;
 
 private:
     static constexpr uint32_t kNone = UINT32_MAX;

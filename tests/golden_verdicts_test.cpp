@@ -135,17 +135,22 @@ append_line(std::string& golden, const std::string& workload,
 template <typename Engine>
 void
 run_engine(std::string& golden, const Workload& w, const char* name,
-           bool epochs)
+           bool epochs, bool gc)
 {
     Engine engine(w.trace.num_threads(), w.trace.num_vars(),
                   w.trace.num_locks());
     engine.set_epochs(epochs);
+    engine.set_gc(gc);
+    if (gc)
+        engine.set_gc_sweep_every(1);
     RunResult r = run_checker(engine, w.trace);
     append_line(golden, w.name, name, epochs ? 1 : 0, r);
 }
 
+/** The full corpus fixture; with gc on, reclamation sweeps run at every
+ *  transaction end and the output must still be byte-identical. */
 std::string
-generate_golden()
+generate_golden(bool gc)
 {
     std::string golden;
     golden += "# engine x corpus verdict fixture; regenerate with "
@@ -153,20 +158,22 @@ generate_golden()
     for (const Workload& w : make_corpus()) {
         for (bool epochs : {true, false}) {
             run_engine<AeroDromeBasic>(golden, w, "aerodrome-basic",
-                                       epochs);
+                                       epochs, gc);
             run_engine<AeroDromeReadOpt>(golden, w, "aerodrome-readopt",
-                                         epochs);
-            run_engine<AeroDromeOpt>(golden, w, "aerodrome", epochs);
+                                         epochs, gc);
+            run_engine<AeroDromeOpt>(golden, w, "aerodrome", epochs, gc);
             run_engine<AeroDromeTuned>(golden, w, "aerodrome-tuned",
-                                       epochs);
+                                       epochs, gc);
         }
         {
             Velodrome velo(w.trace.num_threads(), w.trace.num_vars(),
                            w.trace.num_locks());
+            velo.set_gc(gc);
             append_line(golden, w.name, "velodrome", 0,
                         run_checker(velo, w.trace));
             VelodromePK pk(w.trace.num_threads(), w.trace.num_vars(),
                            w.trace.num_locks());
+            pk.set_gc(gc);
             append_line(golden, w.name, "velodrome-pk", 0,
                         run_checker(pk, w.trace));
         }
@@ -174,13 +181,13 @@ generate_golden()
     return golden;
 }
 
-TEST(GoldenVerdicts, CorpusVerdictsMatchTheCheckedInFixture)
+void
+expect_matches_fixture(const std::string& golden, bool allow_regen)
 {
     const std::string path =
         std::string(AERO_SOURCE_DIR) + "/tests/golden/verdicts.txt";
-    const std::string golden = generate_golden();
 
-    if (std::getenv("AERO_REGEN_GOLDEN")) {
+    if (allow_regen && std::getenv("AERO_REGEN_GOLDEN")) {
         std::ofstream out(path, std::ios::trunc);
         ASSERT_TRUE(out.good()) << "cannot write " << path;
         out << golden;
@@ -213,6 +220,20 @@ TEST(GoldenVerdicts, CorpusVerdictsMatchTheCheckedInFixture)
         ASSERT_EQ(la, lb) << "verdict drifted at line " << line;
     }
     FAIL() << "fixture mismatch"; // unreachable: loop asserts first
+}
+
+TEST(GoldenVerdicts, CorpusVerdictsMatchTheCheckedInFixture)
+{
+    expect_matches_fixture(generate_golden(false), true);
+}
+
+TEST(GoldenVerdicts, GcOnReproducesTheFixtureByteForByte)
+{
+    // Reclamation must not move a single verdict, index, or thread on
+    // the whole corpus — the gc-on regeneration hits the same fixture.
+    // The gc-on pass never regenerates: the fixture is defined by the
+    // gc-off run, and gc must reproduce it.
+    expect_matches_fixture(generate_golden(true), false);
 }
 
 } // namespace

@@ -24,6 +24,11 @@
  * identical to the threaded pipeline (enforced by shard_test); a
  * threaded spot check runs on a small subset here.
  *
+ * Reclamation (AERO_GC / set_gc) must be verdict-invisible: a corpus
+ * pass runs gc-on engines (sweep forced every transaction end) single
+ * and sharded against the gc-off baseline. CI additionally re-runs the
+ * whole suite under AERO_GC=1, which flips every engine's default.
+ *
  * The transport block size (ShardOptions::batch_size) is pure plumbing
  * and must be verdict-invariant: a dedicated sweep holds the threaded
  * pipeline to bit-exactness at batch {1, 7, 64, 256}, and the
@@ -90,6 +95,22 @@ baseline(const Trace& t, bool epochs)
     Engine engine(t.num_threads(), t.num_vars(), t.num_locks());
     engine.set_epochs(epochs);
     return run_checker(engine, t);
+}
+
+/** Factory with reclamation forced on (independent of AERO_GC) and the
+ *  sweep hook at every transaction end, so sweeps actually interleave
+ *  with the merge cadence instead of waiting for table growth. */
+template <typename Engine>
+EngineFactory
+gc_factory(bool epochs)
+{
+    return [epochs] {
+        auto engine = std::make_unique<Engine>(0, 0, 0);
+        engine->set_epochs(epochs);
+        engine->set_gc(true);
+        engine->set_gc_sweep_every(1);
+        return engine;
+    };
 }
 
 std::vector<uint32_t>
@@ -293,6 +314,60 @@ TEST_P(ShardParity, EpochModeMatchesSingleEngineEventForEvent)
     expect_epoch_mode_exact<AeroDromeReadOpt>(t, &hash_shard_policy);
     expect_epoch_mode_exact<AeroDromeOpt>(t, &hash_shard_policy);
     expect_epoch_mode_exact<AeroDromeTuned>(t, &hash_shard_policy);
+}
+
+TEST_P(ShardParity, GcOnReproducesTheGcOffVerdict)
+{
+    const ParityParams& p = GetParam();
+    Trace t = fuzz_trace(p.seed, p.threads, p.vars, p.locks,
+                         p.txn_probability);
+    // Reclamation must be invisible to verdicts: with sweeps forced at
+    // every transaction end, both the single-engine and the sharded
+    // runs must reproduce that engine's own gc-off verdict event for
+    // event (engines may legitimately flag different events, so each
+    // is held to its own baseline).
+    auto check = [&](const RunResult& r, const RunResult& expected,
+                     const char* what) {
+        SCOPED_TRACE(what);
+        ASSERT_EQ(r.violation, expected.violation);
+        if (expected.violation) {
+            EXPECT_EQ(r.details->event_index,
+                      expected.details->event_index);
+            EXPECT_EQ(r.details->thread, expected.details->thread);
+        }
+    };
+
+    auto single_gc = [&](auto tag) {
+        using Engine = decltype(tag);
+        Engine e(t.num_threads(), t.num_vars(), t.num_locks());
+        e.set_epochs(true);
+        e.set_gc(true);
+        e.set_gc_sweep_every(1);
+        return run_checker(e, t);
+    };
+
+    const RunResult opt_off = baseline<AeroDromeOpt>(t, true);
+    check(single_gc(AeroDromeOpt(0, 0, 0)), opt_off,
+          "single-engine opt gc on");
+    check(single_gc(AeroDromeBasic(0, 0, 0)),
+          baseline<AeroDromeBasic>(t, true), "single-engine basic gc on");
+    const RunResult tuned_off = baseline<AeroDromeTuned>(t, true);
+    check(single_gc(AeroDromeTuned(0, 0, 0)), tuned_off,
+          "single-engine tuned gc on");
+
+    for (uint32_t shards : {2u, 4u}) {
+        ShardOptions opts;
+        opts.shards = shards;
+        opts.merge_epoch = 4;
+        ShardRunResult r =
+            run_sharded_inline(gc_factory<AeroDromeOpt>(true), t, opts);
+        SCOPED_TRACE(::testing::Message() << "shards=" << shards);
+        check(r.result, opt_off, "sharded opt gc on");
+        EXPECT_EQ(r.suspects, 0u);
+        ShardRunResult rt =
+            run_sharded_inline(gc_factory<AeroDromeTuned>(true), t, opts);
+        check(rt.result, tuned_off, "sharded tuned gc on");
+    }
 }
 
 TEST_P(ShardParity, LegacyEpochModeIsSoundOnTheCorpus)
