@@ -52,6 +52,7 @@
  *        bench_scaling --updsets [--quick]
  *        bench_scaling --faults [--quick]
  *        bench_scaling --memory [--quick] [--json PATH]
+ *        bench_scaling --ingest [--quick] [--json PATH]
  *
  * A fifth mode, --memory, is the reclamation gate: it drives every
  * AeroDrome engine over the rolling stream (gen/rolling_stream.hpp —
@@ -61,16 +62,31 @@
  * clock entry, reclamation counters), and fails if the gc-on footprint
  * is not flat (end > 1.15x midpoint) or if reclamation costs more than
  * 5% throughput against the gc-off run of the same engine.
+ *
+ * A sixth mode, --ingest, is the block-ingestion gate for the PR that
+ * rebuilt trace reading around next_n blocks: it writes a ~10M-event
+ * binary trace (~1M under --quick) to a temp file and records, best of
+ * three each, decode-only rows (istream per-event next(), istream
+ * batched next_n, read()-buffered batched, mmap batched), end-to-end
+ * check rows (in-memory TraceSource vs the mmap file-backed source,
+ * both through run_checker_stream), and a decode/route overlap row (the
+ * 2-shard threaded driver fed from the mapped file). BENCH_ingest.json
+ * gets every row plus the two gates, and the run *fails* if mmap
+ * batched decode is under 5x the per-event istream path or the
+ * file-backed check is more than 1.3x slower than the in-memory rate.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "aerodrome/aerodrome_basic.hpp"
 #include "aerodrome/aerodrome_opt.hpp"
@@ -81,8 +97,10 @@
 #include "gen/rolling_stream.hpp"
 #include "shard/sharded_runner.hpp"
 #include "support/fault.hpp"
+#include "support/stopwatch.hpp"
 #include "support/str.hpp"
 #include "trace/binary_io.hpp"
+#include "trace/mapped_reader.hpp"
 #include "trace/stream.hpp"
 #include "velodrome/velodrome.hpp"
 #include "velodrome/velodrome_pk.hpp"
@@ -98,6 +116,7 @@ struct Args {
     bool updsets_mode = false;
     bool faults_mode = false;
     bool memory_mode = false;
+    bool ingest_mode = false;
     bool quick = false;
     uint64_t merge_epoch = 64;
     bool merge_barriers = true;
@@ -792,6 +811,226 @@ run_memory_bench(const Args& args)
     return ok ? 0 : 1;
 }
 
+// --- Block-ingestion gate (--ingest) ----------------------------------------
+
+struct IngestRow {
+    const char* name;
+    double seconds = 0;
+    double events_per_s = 0;
+};
+
+/** Best wall-clock of three runs of `fn` (which returns seconds). */
+double
+ingest_best_of3(const std::function<double()>& fn)
+{
+    double best = fn();
+    for (int i = 0; i < 2; ++i) {
+        const double s = fn();
+        if (s < best)
+            best = s;
+    }
+    return best;
+}
+
+/**
+ * The block-ingestion gate: decode-only, decode+check, and
+ * decode/route-overlap rates over one large binary trace on disk, with
+ * the two floors from the PR that introduced MappedBinaryEventSource.
+ */
+int
+run_ingest_bench(const Args& args)
+{
+    const uint64_t target = args.quick ? 1000000 : 10000000;
+
+    // Size a pipeline workload to ~target events: probe the events-per-
+    // round rate on a small instance, then scale the round count.
+    const Trace probe = gen::make_pipeline(8, 100);
+    const double per_round = static_cast<double>(probe.size()) / 100.0;
+    const uint32_t rounds =
+        static_cast<uint32_t>(static_cast<double>(target) / per_round);
+    const Trace trace = gen::make_pipeline(8, rounds);
+    const uint64_t events = trace.size();
+
+    const std::string path = "/tmp/aero_bench_ingest_" +
+                             std::to_string(::getpid()) + ".bin";
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        write_binary(f, trace);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("Block-ingestion gate: %s events, %s on disk\n",
+                with_commas(events).c_str(), path.c_str());
+
+    auto drain_events = [&events](EventSource& src, size_t block) {
+        std::vector<Event> buf(block);
+        Stopwatch watch;
+        uint64_t n = 0;
+        for (;;) {
+            const size_t got = src.next_n(buf.data(), block);
+            if (got == 0)
+                break;
+            n += got;
+        }
+        if (n != events) {
+            std::fprintf(stderr, "BUG: decoded %llu of %llu events\n",
+                         static_cast<unsigned long long>(n),
+                         static_cast<unsigned long long>(events));
+            std::exit(1);
+        }
+        return watch.elapsed_seconds();
+    };
+
+    std::vector<IngestRow> rows;
+    auto add_row = [&](const char* name,
+                       const std::function<double()>& fn) {
+        IngestRow row;
+        row.name = name;
+        row.seconds = ingest_best_of3(fn);
+        row.events_per_s = row.seconds > 0
+                               ? static_cast<double>(events) / row.seconds
+                               : 0;
+        rows.push_back(row);
+        std::printf("%24s  %10s  %14s ev/s\n", row.name,
+                    format_duration(row.seconds).c_str(),
+                    with_commas(static_cast<uint64_t>(row.events_per_s))
+                        .c_str());
+        return row.events_per_s;
+    };
+
+    // Decode-only: per-event reference, then the batched paths.
+    const double evs_per_event = add_row("decode-istream-next", [&] {
+        std::ifstream in(path, std::ios::binary);
+        BinaryEventSource src(in);
+        Stopwatch watch;
+        Event e;
+        uint64_t n = 0;
+        while (src.next(e))
+            ++n;
+        if (n != events)
+            std::exit(1);
+        return watch.elapsed_seconds();
+    });
+    add_row("decode-istream-batched", [&] {
+        std::ifstream in(path, std::ios::binary);
+        BinaryEventSource src(in);
+        return drain_events(src, kDefaultIngestBlock);
+    });
+    add_row("decode-buffered-batched", [&] {
+        std::ifstream in(path, std::ios::binary);
+        MappedBinaryEventSource src(in);
+        return drain_events(src, kDefaultIngestBlock);
+    });
+    const double evs_mmap = add_row("decode-mmap-batched", [&] {
+        MappedBinaryEventSource src(path);
+        if (!src.is_mapped())
+            std::fprintf(stderr, "note: mmap unavailable, buffered run\n");
+        return drain_events(src, kDefaultIngestBlock);
+    });
+
+    // End-to-end: the same checker fed from memory vs from the file.
+    auto checked_seconds = [&events](EventSource& src) {
+        AeroDromeOpt engine(0, 0, 0);
+        RunResult r = run_checker_stream(engine, src);
+        if (r.violation || r.events_processed != events) {
+            std::fprintf(stderr, "BUG: check run ended early (%llu)\n",
+                         static_cast<unsigned long long>(
+                             r.events_processed));
+            std::exit(1);
+        }
+        return r.seconds;
+    };
+    const double evs_check_mem = add_row("check-in-memory", [&] {
+        TraceSource src(trace);
+        return checked_seconds(src);
+    });
+    const double evs_check_file = add_row("check-file-mmap", [&] {
+        MappedBinaryEventSource src(path);
+        return checked_seconds(src);
+    });
+
+    // Overlap: the threaded sharded driver double-buffers decode against
+    // route_chunk, so file-backed sharding should not pay full decode
+    // latency on the critical path.
+    add_row("overlap-sharded-x2", [&] {
+        MappedBinaryEventSource src(path);
+        ShardOptions opts;
+        opts.shards = 2;
+        ShardRunResult r = run_sharded(
+            [] { return std::make_unique<AeroDromeOpt>(0, 0, 0); }, src,
+            opts);
+        if (r.result.violation ||
+            r.result.events_processed != events)
+            std::exit(1);
+        return r.result.seconds;
+    });
+
+    // The two gates this PR claims.
+    bool ok = true;
+    const double decode_ratio =
+        evs_per_event > 0 ? evs_mmap / evs_per_event : 0;
+    if (decode_ratio < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: mmap batched decode is %.2fx the per-event "
+                     "istream path (< 5x floor)\n",
+                     decode_ratio);
+        ok = false;
+    }
+    const double check_ratio =
+        evs_check_file > 0 ? evs_check_mem / evs_check_file : 0;
+    if (check_ratio > 1.3) {
+        std::fprintf(stderr,
+                     "FAIL: file-backed check runs %.2fx slower than "
+                     "in-memory (> 1.3x floor)\n",
+                     check_ratio);
+        ok = false;
+    }
+    std::printf("gates: mmap/per-event decode %.2fx (floor 5x), "
+                "in-memory/file check %.2fx (ceiling 1.3x)\n",
+                decode_ratio, check_ratio);
+
+    std::string json = "{\n  \"events\": " + std::to_string(events) +
+                       ",\n  \"block\": " +
+                       std::to_string(kDefaultIngestBlock) +
+                       ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"seconds\": %.4f, "
+                      "\"events_per_s\": %.0f}%s\n",
+                      rows[i].name, rows[i].seconds, rows[i].events_per_s,
+                      i + 1 < rows.size() ? "," : "");
+        json += buf;
+    }
+    char tail[256];
+    std::snprintf(tail, sizeof(tail),
+                  "  ],\n  \"gates\": {\"mmap_vs_per_event_decode\": "
+                  "%.3f, \"decode_floor\": 5.0, "
+                  "\"in_memory_vs_file_check\": %.3f, "
+                  "\"check_ceiling\": 1.3, \"passed\": %s}\n}\n",
+                  decode_ratio, check_ratio, ok ? "true" : "false");
+    json += tail;
+
+    const std::string out =
+        args.json_path.empty() ? "BENCH_ingest.json" : args.json_path;
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        std::remove(path.c_str());
+        return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    std::remove(path.c_str());
+    if (ok)
+        std::printf("ingest gate passed\n");
+    return ok ? 0 : 1;
+}
+
 // --- Fault-overhead smoke (--faults) ----------------------------------------
 
 /**
@@ -937,6 +1176,8 @@ main(int argc, char** argv)
             args.faults_mode = true;
         else if (a == "--memory")
             args.memory_mode = true;
+        else if (a == "--ingest")
+            args.ingest_mode = true;
         else if (a == "--quick")
             args.quick = true;
         else if (a == "--merge-epoch" && i + 1 < argc) {
@@ -959,6 +1200,8 @@ main(int argc, char** argv)
         else if (a == "--json" && i + 1 < argc)
             args.json_path = argv[++i];
     }
+    if (args.ingest_mode)
+        return run_ingest_bench(args);
     if (args.memory_mode)
         return run_memory_bench(args);
     if (args.faults_mode)

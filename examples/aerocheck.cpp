@@ -10,8 +10,14 @@
  * Usage:
  *   aerocheck <trace[.bin]> [--engine NAME] [--budget SECONDS]
  *             [--shards N] [--merge-epoch K|end] [--no-merge-barriers]
- *             [--batch N] [--pin] [--resync] [--watchdog MS]
- *             [--gc=on|off] [--validate] [--stats] [--witness]
+ *             [--batch N] [--ingest-block N] [--pin] [--resync]
+ *             [--watchdog MS] [--gc=on|off] [--validate] [--stats]
+ *             [--witness]
+ *
+ * The trace format is sniffed from the AEROTRC1 magic, not the file
+ * extension (the ".bin" suffix only breaks ties for files too short to
+ * sniff); a ".bin" file without the magic is rejected as corrupt rather
+ * than mis-parsed as text.
  *
  *   --engine: aerodrome (default) | aerodrome-tuned | aerodrome-readopt |
  *             aerodrome-basic | velodrome | velodrome-pk
@@ -30,6 +36,10 @@
  *             reader stages this many events per shard before publishing
  *             them into the ring as one block (default: AERO_BATCH env,
  *             else 256; 1 = per-event transport)
+ *   --ingest-block: single-engine runs — events decoded per
+ *             EventSource::next_n block in the check loop (default:
+ *             AERO_INGEST_BLOCK env, else 4096); sharded runs decode in
+ *             --batch sized blocks instead. Echoed by --stats
  *   --pin:    pin shard worker s to core s mod hardware_concurrency
  *             (Linux; no-op elsewhere or single-engine)
  *   --gc:     force clock-entry reclamation and thread-slot recycling on
@@ -100,6 +110,7 @@ struct Args {
     uint64_t merge_epoch = kMergeEpochUnset;
     bool merge_barriers = true;
     uint32_t batch = 0; // 0: AERO_BATCH env, else 256
+    uint32_t ingest_block = 0; // 0: AERO_INGEST_BLOCK env, else 4096
     bool pin_workers = false;
     bool resync = false;
     uint32_t watchdog_ms = 0;
@@ -179,7 +190,8 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s <trace[.bin]> [--engine NAME] [--budget S] "
                  "[--shards N] [--merge-epoch K|end] "
-                 "[--no-merge-barriers] [--batch N] [--pin] [--resync] "
+                 "[--no-merge-barriers] [--batch N] [--ingest-block N] "
+                 "[--pin] [--resync] "
                  "[--watchdog MS] [--gc=on|off] [--validate] [--stats]\n"
                  "engines: aerodrome aerodrome-tuned aerodrome-readopt "
                  "aerodrome-basic velodrome velodrome-pk\n",
@@ -323,6 +335,11 @@ main(int argc, char** argv)
             if (!parse_bounded(argv[++i], 1, 65536, v))
                 return usage(argv[0]);
             args.batch = static_cast<uint32_t>(v);
+        } else if (a == "--ingest-block" && i + 1 < argc) {
+            unsigned long v = 0;
+            if (!parse_bounded(argv[++i], 1, 1ul << 22, v))
+                return usage(argv[0]);
+            args.ingest_block = static_cast<uint32_t>(v);
         } else if (a == "--pin") {
             args.pin_workers = true;
         } else if (a == "--resync") {
@@ -369,11 +386,9 @@ main(int argc, char** argv)
 
     try {
         if (args.validate_first) {
-            bool binary = args.path.size() > 4 &&
-                          args.path.compare(args.path.size() - 4, 4,
-                                            ".bin") == 0;
-            Trace t = binary ? read_binary_file(args.path)
-                             : read_text_file(args.path);
+            Trace t = trace_is_binary(args.path)
+                          ? read_binary_file(args.path)
+                          : read_text_file(args.path);
             auto v = validate(t);
             if (!v.ok) {
                 std::fprintf(stderr,
@@ -439,7 +454,8 @@ main(int argc, char** argv)
                 *source, sopts);
             r = sharded->result;
         } else {
-            r = run_checker_stream(*checker, *source, budget);
+            r = run_checker_stream(*checker, *source, budget,
+                                   args.ingest_block);
         }
 
         const RunStatus status = r.status();
@@ -508,16 +524,21 @@ main(int argc, char** argv)
                 std::printf(" (shard %u)", r.details->shard);
             std::printf(": %s\n", r.details->reason.c_str());
             if (args.witness) {
-                bool binary =
-                    args.path.size() > 4 &&
-                    args.path.compare(args.path.size() - 4, 4, ".bin") ==
-                        0;
-                Trace t = binary ? read_binary_file(args.path)
-                                 : read_text_file(args.path);
+                Trace t = trace_is_binary(args.path)
+                              ? read_binary_file(args.path)
+                              : read_text_file(args.path);
                 print_witness(t, r.details->event_index);
             }
         }
         if (args.stats) {
+            // Sharded runs decode in transport-batch blocks (the decode
+            // pipe); single-engine runs use the resolved ingest block.
+            const size_t block = sharded
+                                     ? sharded->batch
+                                     : resolve_ingest_block(args.ingest_block);
+            std::printf("  ingest: %s source, block %s\n",
+                        source->source_kind(),
+                        with_commas(block).c_str());
             if (sharded) {
                 print_shard_stats(*sharded);
                 print_gc_block(sharded->result.counters);

@@ -117,11 +117,12 @@ run_checker(AtomicityChecker& checker, const Trace& trace,
 
 RunResult
 run_checker_stream(AtomicityChecker& checker, EventSource& source,
-                   const RunBudget& budget)
+                   const RunBudget& budget, size_t block)
 {
     RunResult result;
     Stopwatch watch;
     const bool limited = budget.max_seconds > 0;
+    block = resolve_ingest_block(block);
 
     // Sources that know the stream's metainfo dimensions up front (binary
     // headers, in-memory traces) get the same arena pre-sizing as the
@@ -135,22 +136,39 @@ run_checker_stream(AtomicityChecker& checker, EventSource& source,
 
     PanicContextScope panic_scope;
     try {
-        Event e;
-        for (size_t i = 0; source.next(e); ++i) {
-            if ((i % budget.check_interval) == 0) {
-                if (limited &&
-                    watch.elapsed_seconds() > budget.max_seconds) {
-                    result.timed_out = true;
+        std::vector<Event> buf(block);
+        // Budget polls can no longer ride `i % interval == 0` (the loop
+        // steps by blocks): poll on the first boundary at-or-after each
+        // interval, including inside a block, so a block larger than the
+        // interval cannot blow past max_seconds.
+        uint64_t next_poll = 0;
+        bool stop = false;
+        size_t i = 0;
+        while (!stop) {
+            const size_t got = source.next_n(buf.data(), block);
+            if (got == 0)
+                break;
+            for (size_t j = 0; j < got; ++j, ++i) {
+                if (i >= next_poll) {
+                    next_poll = i + budget.check_interval;
+                    if (limited &&
+                        watch.elapsed_seconds() > budget.max_seconds) {
+                        result.timed_out = true;
+                        stop = true;
+                        break;
+                    }
+                    if (memory_breached(checker, budget, result)) {
+                        stop = true;
+                        break;
+                    }
+                }
+                panic_scope.set_index(i);
+                ++result.events_processed;
+                if (checker.process(buf[j], i)) {
+                    result.violation = true;
+                    stop = true;
                     break;
                 }
-                if (memory_breached(checker, budget, result))
-                    break;
-            }
-            panic_scope.set_index(i);
-            ++result.events_processed;
-            if (checker.process(e, i)) {
-                result.violation = true;
-                break;
             }
         }
     } catch (const StreamCorruption& e) {

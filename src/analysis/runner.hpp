@@ -128,8 +128,16 @@ class EventSource;
  * constant-memory path for logs too large to materialize. Strict-mode
  * stream corruption and contained panics end the run with the matching
  * RunStatus instead of propagating.
+ *
+ * Events are pulled in blocks of `block` via EventSource::next_n so
+ * block-decoding sources (MappedBinaryEventSource) amortize per-event
+ * overhead; 0 resolves through AERO_INGEST_BLOCK to the default
+ * (resolve_ingest_block). Budget polls fire on the first event boundary
+ * at-or-after each check_interval regardless of the block size, so a
+ * huge block cannot blow past max_seconds.
  */
 RunResult run_checker_stream(AtomicityChecker& checker, EventSource& source,
-                             const RunBudget& budget = {});
+                             const RunBudget& budget = {},
+                             size_t block = 0);
 
 } // namespace aero

@@ -1390,52 +1390,177 @@ run_sharded(const EngineFactory& factory, EventSource& source,
         }
     };
 
+    /** Double-buffered decode: a dedicated thread runs EventSource::
+     *  next_n into one of two block slots while this thread routes the
+     *  other, so batched decode (the mmap kernel) overlaps route_chunk
+     *  and the queue pushes. Strict-mode corruption travels through the
+     *  slot as data — the prefix decoded before it still routes, exactly
+     *  like the old inline loop. Slot handoff is a full/empty flag under
+     *  one mutex; the decode thread exits on its own after delivering a
+     *  terminal slot (eof or error) and the destructor quits + joins it
+     *  on every other path. */
+    struct DecodeSlot {
+        std::vector<Event> events;
+        size_t count = 0;
+        bool eof = false;
+        bool has_error = false;
+        StreamError error;
+        bool full = false;
+    };
+    struct DecodePipe {
+        EventSource& src;
+        const size_t batch;
+        std::mutex mu;
+        std::condition_variable cv;
+        DecodeSlot slots[2];
+        bool quit = false;
+        std::thread th;
+
+        DecodePipe(EventSource& s, size_t b) : src(s), batch(b)
+        {
+            slots[0].events.resize(batch);
+            slots[1].events.resize(batch);
+            th = std::thread([this] { run(); });
+        }
+        ~DecodePipe()
+        {
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                quit = true;
+            }
+            cv.notify_all();
+            th.join();
+        }
+        void
+        run()
+        {
+            uint32_t w = 0;
+            for (;;) {
+                DecodeSlot& slot = slots[w];
+                {
+                    std::unique_lock<std::mutex> lk(mu);
+                    cv.wait(lk, [&] { return quit || !slot.full; });
+                    if (quit)
+                        return;
+                }
+                slot.count = 0;
+                slot.has_error = false;
+                try {
+                    slot.count = src.next_n(slot.events.data(), batch);
+                } catch (const StreamCorruption& ex) {
+                    slot.has_error = true;
+                    slot.error = ex.error();
+                }
+                slot.eof = !slot.has_error && slot.count == 0;
+                const bool terminal = slot.eof || slot.has_error;
+                {
+                    std::lock_guard<std::mutex> lk(mu);
+                    slot.full = true;
+                }
+                cv.notify_all();
+                if (terminal)
+                    return;
+                w ^= 1;
+            }
+        }
+        DecodeSlot&
+        acquire(uint32_t r)
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return slots[r].full; });
+            return slots[r];
+        }
+        void
+        release(uint32_t r)
+        {
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                slots[r].full = false;
+            }
+            cv.notify_all();
+        }
+    };
+
     try {
-        std::vector<Event> chunk(batch);
+        // A tiny batch (the AERO_BATCH=1 per-event CI pass) skips the
+        // pipe: per-slot signaling would cost more than it overlaps.
+        const bool use_pipe = batch >= 16;
+        std::unique_ptr<DecodePipe> pipe;
+        if (use_pipe)
+            pipe = std::make_unique<DecodePipe>(source, batch);
+        std::vector<Event> chunk(use_pipe ? 0 : batch);
         std::vector<uint32_t> chunk_dst(batch);
         std::vector<ShardRun> runs;
         uint64_t next_sweep = 1024;
+        uint64_t next_poll = 0;
+        uint32_t rslot = 0;
         bool eof = false;
-        while (!eof) {
-            // Decode up to one block of events. Budget and stop checks
-            // keep their per-event cadence inside the sizing loop, and
-            // corrupt input is a structured outcome, not an unwind: the
+        bool stop = false;
+        while (!eof && !stop) {
+            // Take the next decoded block (or decode one inline), then
+            // apply the stop and budget cuts at block granularity.
+            // Corrupt input is a structured outcome, not an unwind: the
             // events that did decode still route below.
             size_t n = 0;
-            bool stop = false;
-            while (n < batch) {
-                const uint64_t gi = index + n;
-                if (limited && (gi % opts.budget.check_interval) == 0 &&
-                    watch.elapsed_seconds() > opts.budget.max_seconds) {
-                    out.result.timed_out = true;
+            const Event* cptr = nullptr;
+            if (use_pipe) {
+                DecodeSlot& slot = pipe->acquire(rslot);
+                if (slot.has_error) {
+                    out.result.stream_error = slot.error;
                     stop = true;
-                    break;
-                }
-                // Anything past the earliest reported violation cannot
-                // affect the joined verdict; stop decoding.
-                if (gi > stop_at.load(std::memory_order_relaxed)) {
-                    stop = true;
-                    break;
-                }
-                bool got = false;
-                try {
-                    got = source.next(chunk[n]);
-                } catch (const StreamCorruption& ex) {
-                    out.result.stream_error = ex.error();
-                    stop = true;
-                    break;
-                }
-                if (!got) {
+                } else if (slot.eof) {
                     eof = true;
-                    break;
                 }
-                ++n;
+                n = slot.count;
+                cptr = slot.events.data();
+            } else {
+                while (n < batch) {
+                    bool got = false;
+                    try {
+                        got = source.next(chunk[n]);
+                    } catch (const StreamCorruption& ex) {
+                        out.result.stream_error = ex.error();
+                        stop = true;
+                        break;
+                    }
+                    if (!got) {
+                        eof = true;
+                        break;
+                    }
+                    ++n;
+                }
+                cptr = chunk.data();
+            }
+            // Anything past the earliest reported violation cannot
+            // affect the joined verdict; cut the block there.
+            const uint64_t sa = stop_at.load(std::memory_order_relaxed);
+            if (index > sa) {
+                n = 0;
+                stop = true;
+            } else if (n > 0 && index + n - 1 > sa) {
+                n = static_cast<size_t>(sa - index + 1);
+                stop = true;
+            }
+            // Budget polls fire on the first event boundary at-or-after
+            // each check_interval — blocks may be larger than the
+            // interval — and a timeout cuts the block at that boundary.
+            if (limited) {
+                while (next_poll < index + n) {
+                    if (watch.elapsed_seconds() >
+                        opts.budget.max_seconds) {
+                        out.result.timed_out = true;
+                        n = static_cast<size_t>(next_poll - index);
+                        stop = true;
+                        break;
+                    }
+                    next_poll += opts.budget.check_interval;
+                }
             }
             // One classification pass over the chunk, then contiguous
             // same-shard runs. Runs are cut at every planned merge, so
             // block boundaries never move a barrier.
             runs.clear();
-            route_chunk(router, planner, chunk.data(), n, index,
+            route_chunk(router, planner, cptr, n, index,
                         chunk_dst.data(), runs);
             for (const ShardRun& run : runs) {
                 if (run.merge_before) {
@@ -1472,10 +1597,10 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                 for (uint32_t i = run.begin; i < run.begin + run.len;
                      ++i) {
                     const uint64_t gi = index + i;
-                    windows.record(chunk[i], gi);
-                    recovery_log.record(chunk[i], gi);
+                    windows.record(cptr[i], gi);
+                    recovery_log.record(cptr[i], gi);
                     ShardItem it;
-                    it.event = chunk[i];
+                    it.event = cptr[i];
                     it.index = gi;
                     it.kind = ShardItem::kEvent;
                     if (run.shard == ShardRouter::kBroadcast) {
@@ -1492,8 +1617,10 @@ run_sharded(const EngineFactory& factory, EventSource& source,
                 }
             }
             index += n;
-            if (stop)
-                break;
+            if (use_pipe) {
+                pipe->release(rslot);
+                rslot ^= 1;
+            }
             if (watchdog_ms > 0 && index >= next_sweep) {
                 watchdog_sweep(/*draining=*/false);
                 next_sweep = index + 1024;

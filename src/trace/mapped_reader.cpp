@@ -1,0 +1,550 @@
+#include "trace/mapped_reader.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/assert.hpp"
+#include "support/fault.hpp"
+#include "vc/clock_bank.hpp" // AERO_VC_X86_DISPATCH + kHaveAvx2
+
+#ifdef AERO_VC_X86_DISPATCH
+#include <immintrin.h>
+#endif
+
+namespace aero {
+
+namespace {
+
+/** @return the first index in [i, end) whose byte has the LEB128
+ *  continuation bit set, or end. Generic SWAR: one 8-byte word test per
+ *  iteration. */
+size_t
+clean_scan(const uint8_t* d, size_t i, size_t end)
+{
+    while (i + 8 <= end) {
+        uint64_t w;
+        std::memcpy(&w, d + i, 8);
+        if (w & 0x8080808080808080ull)
+            break;
+        i += 8;
+    }
+    while (i < end && !(d[i] & 0x80))
+        ++i;
+    return i;
+}
+
+#ifdef AERO_VC_X86_DISPATCH
+/** AVX2 variant: movemask folds 32 high bits into one register test.
+ *  Out-of-line with target("avx2") and runtime-dispatched, same scheme
+ *  as the vc kernels (clock_bank.cpp). */
+__attribute__((target("avx2"))) size_t
+clean_scan_avx2(const uint8_t* d, size_t i, size_t end)
+{
+    while (i + 32 <= end) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(d + i));
+        const uint32_t m =
+            static_cast<uint32_t>(_mm256_movemask_epi8(v));
+        if (m != 0)
+            return i + static_cast<size_t>(__builtin_ctz(m));
+        i += 32;
+    }
+    while (i < end && !(d[i] & 0x80))
+        ++i;
+    return i;
+}
+#endif
+
+bool
+mmap_allowed()
+{
+    if (const char* env = std::getenv("AERO_MMAP"))
+        return !(env[0] == '0' && env[1] == '\0');
+    return true;
+}
+
+bool
+ingest_fault_armed()
+{
+    return fault_points_compiled() &&
+           FaultInjector::instance().armed_for(FaultSite::kTraceByte);
+}
+
+} // namespace
+
+MappedBinaryEventSource::MappedBinaryEventSource(const std::string& path)
+{
+    if (ingest_fault_armed()) {
+        own_stream_ =
+            std::make_unique<std::ifstream>(path, std::ios::binary);
+        if (!*own_stream_)
+            fatal("cannot open file for reading: " + path);
+        inner_ = std::make_unique<BinaryEventSource>(*own_stream_);
+        return;
+    }
+    open_mapped_or_buffered(path);
+    parse_header();
+}
+
+MappedBinaryEventSource::MappedBinaryEventSource(std::istream& is)
+{
+    if (ingest_fault_armed()) {
+        inner_ = std::make_unique<BinaryEventSource>(is);
+        return;
+    }
+    in_ = &is;
+    buf_.resize(kReadChunk);
+    data_ = buf_.data();
+    parse_header();
+}
+
+MappedBinaryEventSource::~MappedBinaryEventSource()
+{
+    if (map_base_ != nullptr)
+        ::munmap(map_base_, map_len_);
+}
+
+void
+MappedBinaryEventSource::open_mapped_or_buffered(const std::string& path)
+{
+    if (mmap_allowed()) {
+        const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd >= 0) {
+            struct stat st;
+            if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
+                st.st_size > 0) {
+                void* m =
+                    ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+                if (m != MAP_FAILED) {
+                    ::madvise(m, static_cast<size_t>(st.st_size),
+                              MADV_SEQUENTIAL);
+                    ::close(fd);
+                    map_base_ = m;
+                    map_len_ = static_cast<size_t>(st.st_size);
+                    data_ = static_cast<const uint8_t*>(m);
+                    avail_ = map_len_;
+                    mapped_ = true;
+                    return;
+                }
+            }
+            ::close(fd);
+        }
+        // Not a regular file, or open/map failed: buffered fallback
+        // below keeps pipes and special files working.
+    }
+    own_stream_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+    if (!*own_stream_)
+        fatal("cannot open file for reading: " + path);
+    in_ = own_stream_.get();
+    buf_.resize(kReadChunk);
+    data_ = buf_.data();
+}
+
+void
+MappedBinaryEventSource::refill()
+{
+    AERO_ASSERT(!mapped_ && in_ != nullptr, "refill on a mapped source");
+    // Compact the undecoded tail to the front; base_ stays the absolute
+    // offset of data_[0] so error byte offsets survive the move.
+    const size_t tail = avail_ - pos_;
+    if (pos_ > 0) {
+        std::memmove(buf_.data(), buf_.data() + pos_, tail);
+        base_ += pos_;
+        pos_ = 0;
+        avail_ = tail;
+    }
+    const size_t want = buf_.size() - avail_;
+    in_->read(reinterpret_cast<char*>(buf_.data() + avail_),
+              static_cast<std::streamsize>(want));
+    const size_t got = static_cast<size_t>(in_->gcount());
+    avail_ += got;
+    if (got < want)
+        src_eof_ = true;
+    data_ = buf_.data();
+    clean_end_ = pos_; // window moved: re-scan lazily
+}
+
+void
+MappedBinaryEventSource::parse_header()
+{
+    auto bad_header = [](uint64_t off, std::string msg) {
+        StreamError e;
+        e.cause = StreamError::Cause::kBadHeader;
+        e.event_index = 0;
+        e.byte_offset = off;
+        e.message = std::move(msg);
+        throw StreamCorruption(std::move(e));
+    };
+    auto need = [&](size_t n) {
+        while (!mapped_ && !src_eof_ && avail_ < n)
+            refill();
+        return avail_ >= n;
+    };
+
+    static constexpr char kMagic[8] = {'A', 'E', 'R', 'O',
+                                       'T', 'R', 'C', '1'};
+    if (!need(8) || std::memcmp(data_, kMagic, sizeof(kMagic)) != 0)
+        bad_header(0, "not an aerodrome binary trace (bad magic)");
+    if (!need(16))
+        bad_header(8, "binary trace truncated in header");
+    std::memcpy(&expected_, data_ + 8, sizeof(expected_));
+    if (!need(28))
+        bad_header(16, "binary trace truncated in header");
+    std::memcpy(&num_threads_, data_ + 16, sizeof(num_threads_));
+    std::memcpy(&num_vars_, data_ + 20, sizeof(num_vars_));
+    std::memcpy(&num_locks_, data_ + 24, sizeof(num_locks_));
+    if (num_threads_ > kMaxHeaderIds || num_vars_ > kMaxHeaderIds ||
+        num_locks_ > kMaxHeaderIds)
+        bad_header(16, "implausible id space in header (" +
+                           std::to_string(num_threads_) + " threads, " +
+                           std::to_string(num_vars_) + " vars, " +
+                           std::to_string(num_locks_) + " locks)");
+    pos_ = 28; // sizeof header; corruption offsets are absolute
+
+    for (uint32_t o = 0; o < kNumOps; ++o) {
+        const Op op = static_cast<Op>(o);
+        if (op == Op::kBegin || op == Op::kEnd) {
+            has_target_[o] = false;
+            limit_by_op_[o] = 0;
+        } else {
+            has_target_[o] = true;
+            limit_by_op_[o] = op_targets_var(op)    ? num_vars_
+                              : op_targets_lock(op) ? num_locks_
+                                                    : num_threads_;
+        }
+    }
+}
+
+void
+MappedBinaryEventSource::extend_clean_span()
+{
+#ifdef AERO_VC_X86_DISPATCH
+    if (vck::detail::kHaveAvx2) {
+        clean_end_ = clean_scan_avx2(data_, pos_, avail_);
+        return;
+    }
+#endif
+    clean_end_ = clean_scan(data_, pos_, avail_);
+}
+
+/** Mirror of BinaryEventSource::try_decode over the byte window: same
+ *  causes, messages, event index, and absolute byte offset. kShort means
+ *  the window ended mid-record, which callers treat exactly like the
+ *  legacy peek-EOF-inside-a-record case. */
+MappedBinaryEventSource::Rec
+MappedBinaryEventSource::decode_one(Event& out, size_t& len,
+                                    StreamError& err)
+{
+    const uint8_t* p = data_ + pos_;
+    const size_t have = avail_ - pos_;
+    err.event_index = produced_;
+    err.byte_offset = base_ + pos_;
+
+    AERO_ASSERT(have > 0, "decode_one on an empty window");
+    const int opb = p[0];
+    if (opb >= static_cast<int>(kNumOps)) {
+        err.cause = StreamError::Cause::kBadOpcode;
+        err.message = "invalid opcode " + std::to_string(opb);
+        return Rec::kBad;
+    }
+    const Op op = static_cast<Op>(opb);
+
+    size_t k = 1;
+    bool ended_short = false;
+    // LEB128 varint bounded for u32 ids: at most 5 bytes, value must fit.
+    auto read_id = [&](const char* what, uint64_t& v) {
+        v = 0;
+        for (int i = 0; i < 5; ++i) {
+            if (k >= have) {
+                err.cause = StreamError::Cause::kTruncated;
+                err.message = std::string("stream ends inside the ") +
+                              what + " of a record";
+                ended_short = true;
+                return false;
+            }
+            const uint8_t c = p[k];
+            ++k;
+            v |= static_cast<uint64_t>(c & 0x7f) << (7 * i);
+            if (!(c & 0x80)) {
+                if (v <= UINT32_MAX)
+                    return true;
+                err.cause = StreamError::Cause::kBadVarint;
+                err.message = std::string(what) + " varint " +
+                              std::to_string(v) + " exceeds u32";
+                return false;
+            }
+        }
+        err.cause = StreamError::Cause::kBadVarint;
+        err.message = std::string(what) + " varint longer than 5 bytes";
+        return false;
+    };
+
+    uint64_t tid = 0;
+    if (!read_id("thread id", tid))
+        return ended_short ? Rec::kShort : Rec::kBad;
+    if (tid >= num_threads_) {
+        err.cause = StreamError::Cause::kIdOutOfRange;
+        err.message = "thread id " + std::to_string(tid) +
+                      " >= header-declared " + std::to_string(num_threads_);
+        return Rec::kBad;
+    }
+
+    uint64_t target = 0;
+    if (has_target_[static_cast<uint32_t>(opb)]) {
+        if (!read_id("target id", target))
+            return ended_short ? Rec::kShort : Rec::kBad;
+        const uint32_t limit = limit_by_op_[static_cast<uint32_t>(opb)];
+        if (target >= limit) {
+            const char* space = op_targets_var(op)    ? "vars"
+                                : op_targets_lock(op) ? "locks"
+                                                      : "threads";
+            err.cause = StreamError::Cause::kIdOutOfRange;
+            err.message = std::string(op_name(op)) + " target " +
+                          std::to_string(target) +
+                          " >= header-declared " + std::to_string(limit) +
+                          " " + space;
+            return Rec::kBad;
+        }
+    }
+
+    out = Event{static_cast<ThreadId>(tid), static_cast<uint32_t>(target),
+                op};
+    len = k;
+    return Rec::kOk;
+}
+
+void
+MappedBinaryEventSource::record_gap(StreamError err)
+{
+    // One recorded error per contiguous corruption gap, however many
+    // byte offsets the resync scan rejects while crossing it — the gap
+    // closes on the next successfully decoded record.
+    if (gap_open_)
+        return;
+    gap_open_ = true;
+    ++errors_total_;
+    if (errors_.size() < kMaxRecordedErrors)
+        errors_.push_back(std::move(err));
+}
+
+size_t
+MappedBinaryEventSource::decode_block(Event* out, size_t n)
+{
+    size_t k = 0;
+    while (k < n) {
+        if (produced_ >= expected_ || done_)
+            break;
+        if (!mapped_ && !src_eof_ && avail_ - pos_ < kMaxRecordBytes + 5)
+            refill();
+        if (avail_ == pos_) {
+            // Bytes ran out before the header's promised event count.
+            if (k > 0 && !resync_)
+                break; // the next call re-derives and raises this
+            StreamError e;
+            e.cause = StreamError::Cause::kTruncated;
+            e.event_index = produced_;
+            e.byte_offset = base_ + pos_;
+            e.message = "stream ended after " + std::to_string(produced_) +
+                        " of " + std::to_string(expected_) +
+                        " promised events";
+            if (!resync_)
+                throw StreamCorruption(std::move(e));
+            ++errors_total_;
+            if (errors_.size() < kMaxRecordedErrors)
+                errors_.push_back(std::move(e));
+            done_ = true;
+            break;
+        }
+
+        if (pos_ >= clean_end_)
+            extend_clean_span();
+
+        // Tight loop inside the verified continuation-bit-free span:
+        // every id is one byte, so a record is op,tid[,target] and the
+        // only branches left are the header-bound validations. All state
+        // lives in locals: the Event writes may alias *this under strict
+        // aliasing, and member reloads per record would halve throughput.
+        // The per-op tables fold the has-target branch away — mask 0
+        // forces target 0 for begin/end (limit 1 accepts it), limit 0
+        // rejects every target when the header declared an empty space,
+        // and a record is 2 or 3 bytes by table lookup.
+        const size_t before = k;
+        uint32_t lim[kNumOps];
+        uint32_t mask[kNumOps];
+        uint8_t lenv[kNumOps];
+        for (uint32_t o = 0; o < kNumOps; ++o) {
+            lim[o] = has_target_[o] ? limit_by_op_[o] : 1;
+            mask[o] = has_target_[o] ? 0xffu : 0u;
+            lenv[o] = has_target_[o] ? 3 : 2;
+        }
+        const uint8_t* const d = data_;
+        const size_t span_end = clean_end_;
+        const size_t wend = avail_;
+        const uint32_t nthreads = num_threads_;
+        const uint64_t expect = expected_;
+        size_t pos = pos_;
+        uint64_t prod = produced_;
+        // Bounded LEB128 for the general fast path below: advances q on
+        // every byte read, false on overlong/oversized — the caller then
+        // bails to decode_one, which re-derives the structured error
+        // from the same position.
+        auto fast_varint = [d](size_t& q, uint64_t& v) {
+            v = 0;
+            for (int i = 0; i < 5; ++i) {
+                const uint8_t c = d[q];
+                ++q;
+                v |= static_cast<uint64_t>(c & 0x7f) << (7 * i);
+                if (!(c & 0x80))
+                    return v <= UINT32_MAX;
+            }
+            return false;
+        };
+        for (;;) {
+            // Tight loop inside the continuation-bit-free span: every id
+            // is one byte, so a record is 2 or 3 bytes by table lookup.
+            while (k < n && prod < expect && pos + 3 <= span_end) {
+                const uint8_t* p = d + pos;
+                const uint8_t opb = p[0];
+                if (opb >= kNumOps)
+                    break;
+                const uint8_t tid = p[1];
+                const uint32_t tgt = p[2] & mask[opb];
+                if (tid >= nthreads || tgt >= lim[opb])
+                    break;
+                out[k] = Event{tid, tgt, static_cast<Op>(opb)};
+                pos += lenv[opb];
+                ++k;
+                ++prod;
+            }
+            // General fast path: one record with real varints, no error
+            // machinery. Runs only when a full max-size record fits in
+            // the window; position commits only on success, so any bail
+            // leaves decode_one an untouched record to re-judge.
+            if (k >= n || prod >= expect ||
+                pos + kMaxRecordBytes > wend)
+                break;
+            const uint8_t opb = d[pos];
+            if (opb >= kNumOps)
+                break;
+            size_t q = pos + 1;
+            uint64_t tid = 0;
+            if (!fast_varint(q, tid) || tid >= nthreads)
+                break;
+            uint32_t tgt = 0;
+            if (lenv[opb] == 3) {
+                uint64_t t = 0;
+                if (!fast_varint(q, t) || t >= lim[opb])
+                    break;
+                tgt = static_cast<uint32_t>(t);
+            }
+            out[k] = Event{static_cast<ThreadId>(tid), tgt,
+                           static_cast<Op>(opb)};
+            pos = q;
+            ++k;
+            ++prod;
+        }
+        pos_ = pos;
+        produced_ = prod;
+        if (k != before) {
+            gap_open_ = false;
+            continue; // loop top re-checks window and block bounds
+        }
+
+        // Slow path: span boundary (multi-byte varint, corrupt byte) or
+        // a validation failure needing the structured error.
+        StreamError err;
+        size_t len = 0;
+        Event ev;
+        switch (decode_one(ev, len, err)) {
+          case Rec::kOk:
+            pos_ += len;
+            out[k++] = ev;
+            ++produced_;
+            gap_open_ = false;
+            break;
+          case Rec::kShort:
+          case Rec::kBad:
+            if (!resync_) {
+                if (k > 0)
+                    return k; // error re-derived by the next call
+                throw StreamCorruption(std::move(err));
+            }
+            record_gap(std::move(err));
+            ++pos_; // slide one byte and re-attempt (resync mode)
+            break;
+        }
+    }
+    return k;
+}
+
+bool
+MappedBinaryEventSource::next(Event& out)
+{
+    if (inner_)
+        return inner_->next(out);
+    return decode_block(&out, 1) == 1;
+}
+
+size_t
+MappedBinaryEventSource::next_n(Event* out, size_t n)
+{
+    if (inner_)
+        return inner_->next_n(out, n);
+    if (n == 0)
+        return 0;
+    return decode_block(out, n);
+}
+
+const char*
+MappedBinaryEventSource::source_kind() const
+{
+    if (inner_)
+        return inner_->source_kind();
+    return mapped_ ? "binary-mmap" : "binary-buffered";
+}
+
+void
+MappedBinaryEventSource::set_resync(bool on)
+{
+    if (inner_)
+        inner_->set_resync(on);
+    resync_ = on;
+}
+
+const std::vector<StreamError>&
+MappedBinaryEventSource::recovered_errors() const
+{
+    return inner_ ? inner_->recovered_errors() : errors_;
+}
+
+uint64_t
+MappedBinaryEventSource::recovered_error_count() const
+{
+    return inner_ ? inner_->recovered_error_count() : errors_total_;
+}
+
+bool
+MappedBinaryEventSource::dimensions(uint32_t& threads, uint32_t& vars,
+                                    uint32_t& locks) const
+{
+    if (inner_)
+        return inner_->dimensions(threads, vars, locks);
+    threads = num_threads_;
+    vars = num_vars_;
+    locks = num_locks_;
+    return true;
+}
+
+uint64_t
+MappedBinaryEventSource::expected_events() const
+{
+    return inner_ ? inner_->expected_events() : expected_;
+}
+
+} // namespace aero

@@ -1,12 +1,14 @@
 #include "trace/stream.hpp"
 
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "support/assert.hpp"
 #include "support/fault.hpp"
 #include "support/str.hpp"
+#include "trace/mapped_reader.hpp"
 
 namespace aero {
 
@@ -58,11 +60,56 @@ stream_error_cause_name(StreamError::Cause cause)
     return "?";
 }
 
+size_t
+resolve_ingest_block(size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char* env = std::getenv("AERO_INGEST_BLOCK")) {
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 && v <= (1ull << 22))
+            return static_cast<size_t>(v);
+    }
+    return kDefaultIngestBlock;
+}
+
 const std::vector<StreamError>&
 EventSource::recovered_errors() const
 {
     static const std::vector<StreamError> kEmpty;
     return kEmpty;
+}
+
+size_t
+EventSource::next_n(Event* out, size_t n)
+{
+    // A stashed error means the previous batch ended early on a corrupt
+    // record whose next() already consumed input (the text reader eats
+    // the line before throwing): surface it now that the decoded prefix
+    // has been delivered.
+    if (pending_error_) {
+        std::exception_ptr e = std::move(pending_error_);
+        pending_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+    if (exhausted_)
+        return 0;
+    size_t k = 0;
+    try {
+        while (k < n) {
+            if (!next(out[k])) {
+                exhausted_ = true;
+                break;
+            }
+            ++k;
+        }
+    } catch (const StreamCorruption&) {
+        if (k == 0)
+            throw;
+        pending_error_ = std::current_exception();
+    }
+    return k;
 }
 
 int
@@ -153,6 +200,35 @@ TextEventSource::next(Event& out)
             errors_.push_back(std::move(e));
     }
     return false;
+}
+
+size_t
+TextEventSource::next_n(Event* out, size_t n)
+{
+    // Same stash discipline as the base default, with the virtual next()
+    // devirtualized for the hot loop.
+    if (pending_error_) {
+        std::exception_ptr e = std::move(pending_error_);
+        pending_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+    if (exhausted_)
+        return 0;
+    size_t k = 0;
+    try {
+        while (k < n) {
+            if (!TextEventSource::next(out[k])) {
+                exhausted_ = true;
+                break;
+            }
+            ++k;
+        }
+    } catch (const StreamCorruption&) {
+        if (k == 0)
+            throw;
+        pending_error_ = std::current_exception();
+    }
+    return k;
 }
 
 BinaryEventSource::BinaryEventSource(std::istream& is) : is_(is)
@@ -363,20 +439,72 @@ BinaryEventSource::next(Event& out)
     }
 }
 
+size_t
+BinaryEventSource::next_n(Event* out, size_t n)
+{
+    if (exhausted_)
+        return 0;
+    size_t k = 0;
+    try {
+        while (k < n) {
+            if (!next(out[k])) {
+                exhausted_ = true;
+                break;
+            }
+            ++k;
+        }
+    } catch (const StreamCorruption&) {
+        // Strict-mode errors are raised before any byte of the corrupt
+        // record is consumed, so the decoder is idempotent here: deliver
+        // the decoded prefix and let the next call re-derive the
+        // identical error (no stash needed).
+        if (k == 0)
+            throw;
+    }
+    return k;
+}
+
+bool
+trace_is_binary(const std::string& path)
+{
+    const bool ext_bin = path.size() > 4 &&
+                         path.compare(path.size() - 4, 4, ".bin") == 0;
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe)
+        fatal("cannot open file for reading: " + path);
+    static constexpr char kMagic[8] = {'A', 'E', 'R', 'O',
+                                       'T', 'R', 'C', '1'};
+    char head[8];
+    probe.read(head, sizeof(head));
+    if (probe.gcount() < static_cast<std::streamsize>(sizeof(head)))
+        return ext_bin; // too short to sniff: the extension decides
+    if (std::memcmp(head, kMagic, sizeof(kMagic)) == 0)
+        return true;
+    if (ext_bin) {
+        StreamError e;
+        e.cause = StreamError::Cause::kBadHeader;
+        e.event_index = 0;
+        e.byte_offset = 0;
+        e.message = "extension \".bin\" promises a binary trace but the "
+                    "AEROTRC1 magic is missing: " +
+                    path;
+        throw StreamCorruption(std::move(e));
+    }
+    return false;
+}
+
 std::unique_ptr<EventSource>
 open_event_source(const std::string& path,
                   std::unique_ptr<std::istream>& storage)
 {
-    bool binary = path.size() > 4 &&
-                  path.compare(path.size() - 4, 4, ".bin") == 0;
-    auto file = std::make_unique<std::ifstream>(
-        path, binary ? std::ios::binary : std::ios::in);
+    if (trace_is_binary(path))
+        // Owns its mapping (or fallback read buffer); no istream needed.
+        return std::make_unique<MappedBinaryEventSource>(path);
+    auto file = std::make_unique<std::ifstream>(path);
     if (!*file)
         fatal("cannot open file for reading: " + path);
     std::istream& ref = *file;
     storage = std::move(file);
-    if (binary)
-        return std::make_unique<BinaryEventSource>(ref);
     return std::make_unique<TextEventSource>(ref);
 }
 

@@ -22,7 +22,9 @@
  * degraded but sound stream.
  */
 
+#include <algorithm>
 #include <deque>
+#include <exception>
 #include <istream>
 #include <memory>
 #include <vector>
@@ -38,6 +40,14 @@ namespace aero {
  *  millions of variables and dozens of threads). */
 inline constexpr uint32_t kMaxHeaderIds = 1u << 26;
 
+/** Default block size for batched ingestion (resolve_ingest_block). */
+inline constexpr size_t kDefaultIngestBlock = 4096;
+
+/** Resolve a block-ingestion size: `requested` when nonzero, else the
+ *  AERO_INGEST_BLOCK environment variable, else kDefaultIngestBlock.
+ *  Garbage or out-of-range env values fall back to the default. */
+size_t resolve_ingest_block(size_t requested);
+
 /** Pull-based event stream. */
 class EventSource {
 public:
@@ -49,6 +59,28 @@ public:
      *         aero::FatalError) on corrupt input in strict mode.
      */
     virtual bool next(Event& out) = 0;
+
+    /**
+     * Decode up to `n` events into `out` — the block-ingestion entry
+     * point consumers (runner, shard reader) drive so sources can
+     * amortize per-event virtual-call and decode overhead.
+     *
+     * @return the number of events decoded; 0 only at end of stream.
+     *
+     * Contract (identical observable behavior to repeated next()):
+     *  - strict mode: a corrupt record found after >= 1 events decoded
+     *    ends the batch early — those events are returned, nothing of
+     *    the corrupt record is consumed, and the *next* call raises the
+     *    identical StreamCorruption (same cause/index/byte offset). A
+     *    batch that decodes nothing before the corruption throws.
+     *  - resync mode: errors are recorded and skipped inside the call,
+     *    exactly as next() would; a short return still means the stream
+     *    is over.
+     */
+    virtual size_t next_n(Event* out, size_t n);
+
+    /** Short reader-kind tag for diagnostics and --stats lines. */
+    virtual const char* source_kind() const { return "stream"; }
 
     /**
      * Metainfo dimensions of the whole stream, when the source knows them
@@ -77,6 +109,18 @@ public:
 
     /** Cap on individually recorded resync errors. */
     static constexpr size_t kMaxRecordedErrors = 64;
+
+protected:
+    /** Error raised by next() after >= 1 events of a default-next_n batch
+     *  were already decoded: stashed here, rethrown at the next call so
+     *  the partial batch is not lost (see next_n contract). */
+    std::exception_ptr pending_error_;
+    /** Latched once next() returns false inside a next()-looping next_n:
+     *  later calls return 0 without re-entering next(). Post-EOF next()
+     *  is not observably idempotent (the resync reader re-records its
+     *  terminal short-count error each call), and batch drains always
+     *  make one final call to see the 0. */
+    bool exhausted_ = false;
 };
 
 /** Adapter: stream an in-memory trace. */
@@ -92,6 +136,18 @@ public:
         out = trace_[pos_++];
         return true;
     }
+
+    size_t
+    next_n(Event* out, size_t n) override
+    {
+        const size_t got = std::min(n, trace_.size() - pos_);
+        std::copy_n(trace_.events().begin() + static_cast<long>(pos_), got,
+                    out);
+        pos_ += got;
+        return got;
+    }
+
+    const char* source_kind() const override { return "trace"; }
 
     bool
     dimensions(uint32_t& threads, uint32_t& vars,
@@ -119,6 +175,8 @@ public:
     explicit TextEventSource(std::istream& is) : is_(is) {}
 
     bool next(Event& out) override;
+    size_t next_n(Event* out, size_t n) override;
+    const char* source_kind() const override { return "text"; }
 
     void set_resync(bool on) override { resync_ = on; }
     const std::vector<StreamError>& recovered_errors() const override
@@ -163,6 +221,8 @@ public:
     explicit BinaryEventSource(std::istream& is);
 
     bool next(Event& out) override;
+    size_t next_n(Event* out, size_t n) override;
+    const char* source_kind() const override { return "binary"; }
 
     void set_resync(bool on) override { resync_ = on; }
     const std::vector<StreamError>& recovered_errors() const override
@@ -211,7 +271,23 @@ private:
     uint64_t errors_total_ = 0;
 };
 
-/** Open a file as a streaming source (binary iff the path ends ".bin"). */
+/**
+ * Decide text vs binary for `path` by sniffing the first 8 bytes for the
+ * AEROTRC1 magic; the ".bin" extension is only a fallback for files too
+ * short to sniff. A ".bin" file without the magic is a contradiction —
+ * parsing it as text would only produce noise — and raises
+ * StreamCorruption (kBadHeader) naming both signals.
+ * @return true for binary. Fatal when the file cannot be opened.
+ */
+bool trace_is_binary(const std::string& path);
+
+/**
+ * Open a file as a streaming source. Format is sniffed by magic
+ * (trace_is_binary); binary files get the block-decoding
+ * MappedBinaryEventSource (mmap, buffered fallback — see
+ * mapped_reader.hpp), which owns its input, so `storage` is only
+ * populated for text sources.
+ */
 std::unique_ptr<EventSource> open_event_source(const std::string& path,
                                                std::unique_ptr<std::istream>& storage);
 

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Block ingestion: the batched decoders must be observably identical to
+ * the per-event reference reader.
+ *
+ * PR 7 made corrupt input a first-class outcome with an exact contract
+ * (StreamError cause + event index + absolute byte offset, strict and
+ * resync modes); the block readers re-implement decode for speed, so
+ * this suite pins them to the reference byte-for-byte: every trace in a
+ * fuzz corpus — clean, bit-flipped, truncated, garbled — must produce
+ * the same events, the same terminal error, and the same recovered-error
+ * list through BinaryEventSource::next_n and MappedBinaryEventSource
+ * (mmap and buffered windows) at block sizes {1, 7, 256, 4096} as
+ * through BinaryEventSource::next() one event at a time.
+ *
+ * Also here: the magic-sniffing format decision (extension only breaks
+ * ties), the AERO_MMAP=0 fallback, and the block runner's budget-poll
+ * boundaries (a block larger than check_interval must not blow past
+ * max_seconds).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aerodrome/aerodrome_opt.hpp"
+#include "analysis/runner.hpp"
+#include "gen/random_program.hpp"
+#include "sim/scheduler.hpp"
+#include "support/fault.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/mapped_reader.hpp"
+#include "trace/stream.hpp"
+
+namespace aero {
+namespace {
+
+/** One small well-formed trace per seed, shape-varied like the
+ *  robustness fuzz corpus. */
+Trace
+corpus_trace(uint64_t seed)
+{
+    gen::RandomProgramOptions opts;
+    opts.seed = seed;
+    opts.threads = 2 + seed % 4;
+    opts.shared_vars = 3 + seed % 5;
+    opts.locks = 1 + seed % 2;
+    opts.steps_per_thread = 30;
+    sim::SimResult sim = sim::run_program(gen::make_random_program(opts));
+    EXPECT_FALSE(sim.deadlocked);
+    return std::move(sim.trace);
+}
+
+/** Synthetic trace whose ids need multi-byte varints, so the batched
+ *  kernel's clean-span boundaries (LEB128 continuation bits) are
+ *  exercised, not just the all-1-byte fast path. */
+Trace
+wide_id_trace()
+{
+    Trace t;
+    for (uint32_t i = 0; i < 120; ++i) {
+        const ThreadId tid = (i * 37) % 200;       // 2-byte tids past 127
+        const uint32_t var = (i * 991) % 20000;    // up to 3-byte vars
+        t.begin(tid);
+        t.write(tid, var);
+        t.read(tid, var / 2);
+        t.end(tid);
+    }
+    return t;
+}
+
+FaultKind
+fuzz_kind(uint64_t seed)
+{
+    switch (seed % 3) {
+      case 0:
+        return FaultKind::kBitFlip;
+      case 1:
+        return FaultKind::kTruncate;
+      default:
+        return FaultKind::kGarbage;
+    }
+}
+
+/** Everything observable about one full drain of a source. */
+struct DrainResult {
+    std::vector<Event> events;
+    bool threw = false;
+    StreamError error; // valid when threw
+    std::vector<StreamError> recovered;
+    uint64_t recovered_total = 0;
+};
+
+void
+capture_tail(EventSource& src, DrainResult& out)
+{
+    out.recovered = src.recovered_errors();
+    out.recovered_total = src.recovered_error_count();
+}
+
+/** Reference: the per-event reader, one next() at a time. */
+DrainResult
+drain_reference(const std::string& image, bool resync)
+{
+    DrainResult out;
+    std::istringstream in(image, std::ios::binary);
+    try {
+        BinaryEventSource src(in);
+        src.set_resync(resync);
+        Event e;
+        while (src.next(e))
+            out.events.push_back(e);
+        capture_tail(src, out);
+    } catch (const StreamCorruption& ex) {
+        out.threw = true;
+        out.error = ex.error();
+    }
+    return out;
+}
+
+/** Candidate: drain any source via next_n at a given block size. The
+ *  strict-mode contract defers a mid-block error to the following call,
+ *  so the loop keeps pulling until 0 or a throw. */
+DrainResult
+drain_batched(EventSource& src, bool resync, size_t block)
+{
+    DrainResult out;
+    src.set_resync(resync);
+    std::vector<Event> buf(block);
+    try {
+        for (;;) {
+            const size_t got = src.next_n(buf.data(), block);
+            if (got == 0)
+                break;
+            out.events.insert(out.events.end(), buf.begin(),
+                              buf.begin() + static_cast<long>(got));
+        }
+        capture_tail(src, out);
+    } catch (const StreamCorruption& ex) {
+        out.threw = true;
+        out.error = ex.error();
+    }
+    return out;
+}
+
+void
+expect_same_error(const StreamError& a, const StreamError& b,
+                  const std::string& what)
+{
+    EXPECT_EQ(a.cause, b.cause) << what;
+    EXPECT_EQ(a.event_index, b.event_index) << what;
+    EXPECT_EQ(a.byte_offset, b.byte_offset) << what;
+    EXPECT_EQ(a.message, b.message) << what;
+}
+
+void
+expect_same_drain(const DrainResult& ref, const DrainResult& got,
+                  const std::string& what)
+{
+    ASSERT_EQ(ref.threw, got.threw) << what;
+    if (ref.threw)
+        expect_same_error(ref.error, got.error, what + " [terminal]");
+    ASSERT_EQ(ref.events.size(), got.events.size()) << what;
+    for (size_t i = 0; i < ref.events.size(); ++i)
+        ASSERT_TRUE(ref.events[i] == got.events[i])
+            << what << " event " << i;
+    EXPECT_EQ(ref.recovered_total, got.recovered_total) << what;
+    ASSERT_EQ(ref.recovered.size(), got.recovered.size()) << what;
+    for (size_t i = 0; i < ref.recovered.size(); ++i)
+        expect_same_error(ref.recovered[i], got.recovered[i],
+                          what + " [recovered " + std::to_string(i) + "]");
+}
+
+/** RAII temp file holding a binary image (for the mmap path). */
+struct TempImage {
+    std::string path;
+    explicit TempImage(const std::string& image, const char* tag)
+    {
+        path = ::testing::TempDir() + "aero_ingest_" + tag + "_" +
+               std::to_string(::getpid()) + ".bin";
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(image.data(), static_cast<std::streamsize>(image.size()));
+    }
+    ~TempImage() { std::remove(path.c_str()); }
+};
+
+constexpr size_t kBlocks[] = {1, 7, 256, 4096};
+
+/** The full cross-check of one image: reference next() vs next_n on the
+ *  per-event reader and both MappedBinaryEventSource windows, at every
+ *  block size, in both modes. Sources whose header is rejected must all
+ *  reject with the identical error. */
+void
+cross_check_image(const std::string& image, const std::string& tag)
+{
+    TempImage file(image, "xchk");
+    for (bool resync : {false, true}) {
+        const DrainResult ref = drain_reference(image, resync);
+        for (size_t block : kBlocks) {
+            const std::string what =
+                tag + (resync ? " resync" : " strict") + " block " +
+                std::to_string(block);
+            {
+                std::istringstream in(image, std::ios::binary);
+                DrainResult got;
+                try {
+                    BinaryEventSource src(in);
+                    got = drain_batched(src, resync, block);
+                } catch (const StreamCorruption& ex) {
+                    got.threw = true;
+                    got.error = ex.error();
+                }
+                expect_same_drain(ref, got, what + " [binary.next_n]");
+            }
+            {
+                std::istringstream in(image, std::ios::binary);
+                DrainResult got;
+                try {
+                    MappedBinaryEventSource src(in);
+                    EXPECT_FALSE(src.is_mapped());
+                    got = drain_batched(src, resync, block);
+                } catch (const StreamCorruption& ex) {
+                    got.threw = true;
+                    got.error = ex.error();
+                }
+                expect_same_drain(ref, got, what + " [buffered]");
+            }
+            {
+                DrainResult got;
+                try {
+                    MappedBinaryEventSource src(file.path);
+                    got = drain_batched(src, resync, block);
+                } catch (const StreamCorruption& ex) {
+                    got.threw = true;
+                    got.error = ex.error();
+                }
+                expect_same_drain(ref, got, what + " [mmap]");
+            }
+        }
+        // The batched reader's own next() must match too (block of 1
+        // through the block kernel).
+        {
+            std::istringstream in(image, std::ios::binary);
+            DrainResult got;
+            try {
+                MappedBinaryEventSource src(in);
+                src.set_resync(resync);
+                Event e;
+                while (src.next(e))
+                    got.events.push_back(e);
+                capture_tail(src, got);
+            } catch (const StreamCorruption& ex) {
+                got.threw = true;
+                got.error = ex.error();
+            }
+            expect_same_drain(ref, got,
+                              tag + (resync ? " resync" : " strict") +
+                                  " [mapped.next]");
+        }
+    }
+}
+
+std::string
+serialize(const Trace& t)
+{
+    std::ostringstream blob;
+    write_binary(blob, t);
+    return blob.str();
+}
+
+class BatchedDecodeParity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchedDecodeParity, CleanAndCorruptImagesMatchReference)
+{
+    const uint64_t seed = GetParam();
+    const std::string clean = serialize(corpus_trace(seed));
+    cross_check_image(clean, "clean");
+
+    // Record-level damage (pinned past the header) in every byte-fault
+    // flavor, plus an unpinned variant that may hit the header: all
+    // readers must reject or recover identically.
+    for (uint64_t variant = 0; variant < 4; ++variant) {
+        std::string image = clean;
+        const uint64_t min_offset = variant < 3 ? 28 : 0;
+        corrupt_bytes(image, fuzz_kind(seed + variant),
+                      (seed + variant) * 2654435761u, min_offset);
+        cross_check_image(image,
+                          "corrupt v" + std::to_string(variant));
+    }
+
+    // A torn tail (mid-record truncation) is the double-error case:
+    // one gap error inside the record, one terminal short-count error.
+    if (clean.size() > 30) {
+        std::string torn = clean.substr(0, clean.size() - 1);
+        cross_check_image(torn, "torn-tail");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDecodeParity,
+                         ::testing::Range<uint64_t>(8600, 8624));
+
+TEST(BatchedDecodeParity, WideIdsCrossCleanSpanBoundaries)
+{
+    const std::string clean = serialize(wide_id_trace());
+    cross_check_image(clean, "wide-ids");
+    for (uint64_t v = 0; v < 3; ++v) {
+        std::string image = clean;
+        corrupt_bytes(image, fuzz_kind(v), 0x51ed2701u + v, 28);
+        cross_check_image(image, "wide-ids corrupt v" + std::to_string(v));
+    }
+}
+
+TEST(BatchedDecodeParity, MappedFallbackUnderAeroMmap0)
+{
+    const std::string image = serialize(corpus_trace(8777));
+    TempImage file(image, "mmap0");
+    // Only expect a live mapping when the ambient environment is not
+    // already forcing the fallback (the CI AERO_MMAP=0 sweep runs this
+    // whole binary with it set).
+    const char* ambient = ::getenv("AERO_MMAP");
+    const std::string saved = ambient ? ambient : "";
+    if (!(ambient && saved == "0")) {
+        MappedBinaryEventSource src(file.path);
+        EXPECT_TRUE(src.is_mapped());
+        EXPECT_STREQ(src.source_kind(), "binary-mmap");
+    }
+    ::setenv("AERO_MMAP", "0", 1);
+    {
+        MappedBinaryEventSource src(file.path);
+        EXPECT_FALSE(src.is_mapped());
+        EXPECT_STREQ(src.source_kind(), "binary-buffered");
+        DrainResult got = drain_batched(src, false, 256);
+        DrainResult ref = drain_reference(image, false);
+        expect_same_drain(ref, got, "AERO_MMAP=0");
+    }
+    if (ambient)
+        ::setenv("AERO_MMAP", saved.c_str(), 1);
+    else
+        ::unsetenv("AERO_MMAP");
+}
+
+TEST(BatchedDecodeParity, CheckerVerdictMatchesMaterialized)
+{
+    // End to end: a file-backed mapped run and the materialized run must
+    // agree on verdict and event count (golden corpora run through this
+    // same path via run_checker_stream).
+    for (uint64_t seed : {8801ull, 8802ull, 8803ull}) {
+        Trace t = corpus_trace(seed);
+        TempImage file(serialize(t), "verdict");
+        AeroDromeOpt a(t.num_threads(), t.num_vars(), t.num_locks());
+        RunResult want = run_checker(a, t);
+        MappedBinaryEventSource src(file.path);
+        AeroDromeOpt b(0, 0, 0);
+        RunResult got = run_checker_stream(b, src);
+        EXPECT_EQ(want.violation, got.violation) << seed;
+        EXPECT_EQ(want.events_processed, got.events_processed) << seed;
+    }
+}
+
+// --- Format sniffing ---------------------------------------------------------
+
+TEST(FormatSniffing, MagicBeatsExtension)
+{
+    // A binary image under a text-looking name must still be binary.
+    const std::string image = serialize(corpus_trace(8900));
+    std::string path = ::testing::TempDir() + "aero_sniff_bin.trace";
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(image.data(), static_cast<std::streamsize>(image.size()));
+    }
+    EXPECT_TRUE(trace_is_binary(path));
+    std::remove(path.c_str());
+}
+
+TEST(FormatSniffing, BinExtensionWithoutMagicIsRejected)
+{
+    std::string path = ::testing::TempDir() + "aero_sniff_text.bin";
+    {
+        std::ofstream f(path, std::ios::trunc);
+        f << "t0 begin\nt0 w x\nt0 end\n";
+    }
+    try {
+        trace_is_binary(path);
+        FAIL() << "contradictory extension was not rejected";
+    } catch (const StreamCorruption& e) {
+        EXPECT_EQ(e.error().cause, StreamError::Cause::kBadHeader);
+        EXPECT_NE(e.error().message.find("magic"), std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(FormatSniffing, ShortFileFallsBackToExtension)
+{
+    for (const char* name : {"aero_sniff_short.bin", "aero_sniff_short"}) {
+        std::string path = ::testing::TempDir() + name;
+        {
+            std::ofstream f(path, std::ios::binary | std::ios::trunc);
+            f << "abc"; // too short to sniff the 8-byte magic
+        }
+        const bool want_bin = std::string(name).size() > 4 &&
+                              std::string(name).rfind(".bin") ==
+                                  std::string(name).size() - 4;
+        EXPECT_EQ(trace_is_binary(path), want_bin) << name;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(FormatSniffing, OpenEventSourcePicksBlockReaderForBinary)
+{
+    const std::string image = serialize(corpus_trace(8901));
+    std::string path = ::testing::TempDir() + "aero_sniff_open.bin";
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(image.data(), static_cast<std::streamsize>(image.size()));
+    }
+    std::unique_ptr<std::istream> storage;
+    auto src = open_event_source(path, storage);
+    // Under an ambient AERO_MMAP=0 (the CI sweep) the same block reader
+    // arrives on its buffered window.
+    const char* env = ::getenv("AERO_MMAP");
+    EXPECT_STREQ(src->source_kind(),
+                 env && std::string(env) == "0" ? "binary-buffered"
+                                                : "binary-mmap");
+    std::remove(path.c_str());
+}
+
+// --- Budget polls at block granularity ---------------------------------------
+
+/** Never-ending benign stream: forces the time budget to be the only
+ *  thing that can stop the run. */
+class EndlessSource : public EventSource {
+public:
+    bool
+    next(Event& out) override
+    {
+        out = Event{0, 0, (flip_ = !flip_) ? Op::kBegin : Op::kEnd};
+        return true;
+    }
+
+private:
+    bool flip_ = false;
+};
+
+TEST(BlockBudget, HugeBlockCannotBlowPastMaxSeconds)
+{
+    // Block (1M) >> check_interval (1000): the poll must fire at the
+    // first boundary at-or-after each interval *inside* the block, so
+    // the run stops on an interval boundary shortly after the deadline
+    // instead of draining the whole block first (or never stopping).
+    EndlessSource src;
+    AeroDromeOpt engine(1, 1, 1);
+    RunBudget budget;
+    budget.max_seconds = 0.05;
+    budget.check_interval = 1000;
+    RunResult r = run_checker_stream(engine, src, budget, 1u << 20);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_GT(r.events_processed, 0u);
+    EXPECT_EQ(r.events_processed % budget.check_interval, 0u)
+        << "timeout did not land on a poll boundary";
+}
+
+TEST(BlockBudget, ExpiredBudgetStopsAtFirstBoundary)
+{
+    EndlessSource src;
+    AeroDromeOpt engine(1, 1, 1);
+    RunBudget budget;
+    budget.max_seconds = 1e-9; // already expired at the first poll
+    budget.check_interval = 1000;
+    RunResult r = run_checker_stream(engine, src, budget, 1u << 20);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_EQ(r.events_processed, 0u);
+}
+
+TEST(BlockBudget, ResolveIngestBlockEnvAndDefault)
+{
+    ::unsetenv("AERO_INGEST_BLOCK");
+    EXPECT_EQ(resolve_ingest_block(0), kDefaultIngestBlock);
+    EXPECT_EQ(resolve_ingest_block(77), 77u);
+    ::setenv("AERO_INGEST_BLOCK", "512", 1);
+    EXPECT_EQ(resolve_ingest_block(0), 512u);
+    EXPECT_EQ(resolve_ingest_block(9), 9u); // explicit beats env
+    ::setenv("AERO_INGEST_BLOCK", "garbage", 1);
+    EXPECT_EQ(resolve_ingest_block(0), kDefaultIngestBlock);
+    ::setenv("AERO_INGEST_BLOCK", "0", 1);
+    EXPECT_EQ(resolve_ingest_block(0), kDefaultIngestBlock);
+    ::unsetenv("AERO_INGEST_BLOCK");
+}
+
+} // namespace
+} // namespace aero
